@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * miner `min_run_len` — how much does the run filter cost/save?
+//! * classifier thresholds — detection cost across strict/default/lenient
+//!   settings (the paper tuned its thresholds on the 23-program set);
+//! * collector channel mode — unbounded (paper's design) vs bounded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsspy_collect::{Session, SessionConfig};
+use dsspy_collections::{site, SpyVec};
+use dsspy_patterns::{analyze, mine_patterns, MinerConfig};
+use dsspy_usecases::{classify, Thresholds};
+use dsspy_workloads::traces::TraceBuilder;
+
+fn mixed_profile() -> dsspy_events::RuntimeProfile {
+    let mut b = TraceBuilder::new();
+    b.append_phase(2_000, 50);
+    for _ in 0..12 {
+        b.scan_forward(10);
+        b.random_reads(500, 10);
+    }
+    b.searches(1_500, 10);
+    b.build(dsspy_workloads::traces::synth_instance(
+        "ablate",
+        0,
+        dsspy_events::DsKind::List,
+    ))
+}
+
+fn bench_min_run_len(c: &mut Criterion) {
+    let profile = mixed_profile();
+    let mut group = c.benchmark_group("ablation/min_run_len");
+    for min_run_len in [2usize, 3, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_run_len),
+            &min_run_len,
+            |b, &m| {
+                let config = MinerConfig { min_run_len: m };
+                b.iter(|| std::hint::black_box(mine_patterns(&profile, &config).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threshold_settings(c: &mut Criterion) {
+    let profile = mixed_profile();
+    let analysis = analyze(&profile, &MinerConfig::default());
+    let strict = Thresholds {
+        li_min_run_len: 1_000,
+        fs_min_search_ops: 10_000,
+        flr_min_read_patterns: 50,
+        ..Thresholds::default()
+    };
+    let lenient = Thresholds {
+        li_min_run_len: 10,
+        li_min_phase_share: 0.05,
+        fs_min_search_ops: 10,
+        flr_min_read_patterns: 2,
+        flr_min_coverage: 0.1,
+        ..Thresholds::default()
+    };
+    let mut group = c.benchmark_group("ablation/thresholds");
+    for (name, t) in [
+        ("default", Thresholds::default()),
+        ("strict", strict),
+        ("lenient", lenient),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            b.iter(|| std::hint::black_box(classify(&profile.instance, &analysis, t).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/collector_channel");
+    let n = 50_000u64;
+    for (name, capacity) in [("unbounded", None), ("bounded_1k", Some(1_024usize))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &capacity, |b, &cap| {
+            b.iter(|| {
+                let session = Session::with_config(SessionConfig {
+                    batch_size: 1_024,
+                    channel_capacity: cap,
+                });
+                let mut v = SpyVec::register_with_capacity(&session, site!("ablate"), n as usize);
+                for i in 0..n {
+                    v.add(i);
+                }
+                drop(v);
+                std::hint::black_box(session.finish().event_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_min_run_len,
+    bench_threshold_settings,
+    bench_channel_mode
+);
+criterion_main!(benches);

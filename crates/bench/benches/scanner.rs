@@ -1,0 +1,42 @@
+//! Empirical-study benches: source generation and declaration scanning
+//! across the 37-program corpus (the machinery behind Table I and Fig. 1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsspy_study::{build_corpus, generate_source, scan_source};
+
+fn bench_scan(c: &mut Criterion) {
+    let corpus = build_corpus();
+    let big = corpus
+        .iter()
+        .max_by_key(|m| m.loc)
+        .expect("non-empty corpus");
+    let source = generate_source(big);
+
+    let mut group = c.benchmark_group("study/scan");
+    group.throughput(Throughput::Bytes(source.len() as u64));
+    group.bench_function("largest_program", |b| {
+        b.iter(|| std::hint::black_box(scan_source(&source).declarations.len()))
+    });
+    group.finish();
+}
+
+fn bench_full_corpus(c: &mut Criterion) {
+    let corpus = build_corpus();
+    let sources: Vec<String> = corpus.iter().map(generate_source).collect();
+    let total_bytes: usize = sources.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("study/full_corpus");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("scan_37_programs", |b| {
+        b.iter(|| {
+            let total: usize = sources.iter().map(|s| scan_source(s).dynamic_count()).sum();
+            assert_eq!(total, 1_960);
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_full_corpus);
+criterion_main!(benches);

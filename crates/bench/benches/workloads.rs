@@ -1,0 +1,35 @@
+//! The Table IV measurement core as Criterion benches: every evaluation
+//! program in plain, instrumented, and recommendation-following parallel
+//! form. The slowdown column is `instrumented / plain`; the speedup column
+//! is `plain / parallel`. Run at full scale in release mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsspy_collect::Session;
+use dsspy_parallel::default_threads;
+use dsspy_workloads::{suite7, Mode, Scale};
+
+fn bench_suite(c: &mut Criterion) {
+    let threads = default_threads();
+    for w in suite7() {
+        let name = w.spec().name;
+        let mut group = c.benchmark_group(format!("table4/{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("plain", "full"), |b| {
+            b.iter(|| std::hint::black_box(w.run(Scale::Full, Mode::Plain)))
+        });
+        group.bench_function(BenchmarkId::new("instrumented", "full"), |b| {
+            b.iter(|| {
+                let session = Session::new();
+                let out = w.run(Scale::Full, Mode::Instrumented(&session));
+                std::hint::black_box((out, session.finish().event_count()))
+            })
+        });
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter(|| std::hint::black_box(w.run(Scale::Full, Mode::Parallel(threads))))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --all                        # every table and figure, test scale
+//! repro --table 4 --scale full       # Table IV at evaluation scale
+//! repro --figure 1 --svg out.svg     # Fig. 1 chart as SVG
+//! repro --speedups                   # §V per-use-case speedups
+//! ```
+
+use dsspy_bench::tables;
+use dsspy_parallel::default_threads;
+use dsspy_workloads::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--all] [--table N] [--figure N] [--speedups] [--findings] [--ablation] \
+         [--scale test|full] [--runs N] [--threads N] [--svg PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut table: Option<u32> = None;
+    let mut figure: Option<u32> = None;
+    let mut all = false;
+    let mut want_speedups = false;
+    let mut want_findings = false;
+    let mut want_ablation = false;
+    let mut scale = Scale::Test;
+    let mut runs = 3usize;
+    let mut threads = default_threads();
+    let mut svg_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--speedups" => want_speedups = true,
+            "--findings" => want_findings = true,
+            "--ablation" => want_ablation = true,
+            "--table" => {
+                i += 1;
+                table = args.get(i).and_then(|v| v.parse().ok());
+                if table.is_none() {
+                    usage();
+                }
+            }
+            "--figure" => {
+                i += 1;
+                figure = args.get(i).and_then(|v| v.parse().ok());
+                if figure.is_none() {
+                    usage();
+                }
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--runs" => {
+                i += 1;
+                runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--svg" => {
+                i += 1;
+                svg_path = args.get(i).cloned();
+                if svg_path.is_none() {
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if !all
+        && table.is_none()
+        && figure.is_none()
+        && !want_speedups
+        && !want_findings
+        && !want_ablation
+    {
+        all = true;
+    }
+
+    let print_table = |n: u32| match n {
+        1 => println!("{}", tables::table1()),
+        2 => println!("{}", tables::table2()),
+        3 => println!("{}", tables::table3()),
+        4 => println!("{}", tables::table4(scale, runs, threads)),
+        5 => println!("{}", tables::table5(scale)),
+        6 => println!("{}", tables::table6(scale)),
+        _ => {
+            eprintln!("no table {n} in the paper (1–6)");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(n) = figure {
+        let (text, svg) = match n {
+            1 => (tables::figure1_text(), tables::figure1_svg()),
+            2 => (tables::figure2(), tables::figure2_svg()),
+            3 => (tables::figure3(), tables::figure3_svg()),
+            _ => {
+                eprintln!("no figure {n} in the paper (1–3)");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        if let Some(path) = &svg_path {
+            std::fs::write(path, svg).expect("write SVG");
+            println!("(SVG written to {path})");
+        }
+    }
+
+    if let Some(n) = table {
+        print_table(n);
+    }
+
+    if all {
+        for n in 1..=6 {
+            print_table(n);
+            println!();
+        }
+        println!("{}", tables::figure2());
+        println!("{}", tables::figure3());
+        println!("{}", dsspy_study::study_findings().render());
+        println!("{}", tables::speedups(runs));
+    } else {
+        if want_findings {
+            println!("{}", dsspy_study::study_findings().render());
+        }
+        if want_speedups {
+            println!("{}", tables::speedups(runs));
+        }
+        if want_ablation {
+            println!("{}", tables::ablation_table());
+        }
+    }
+}

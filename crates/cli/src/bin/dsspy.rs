@@ -1,0 +1,101 @@
+//! The `dsspy` binary: analyze, chart, diff and sketch saved captures.
+
+use std::path::{Path, PathBuf};
+
+use dsspy_cli::{cmd_analyze, cmd_chart, cmd_csv, cmd_diff, cmd_report, cmd_sketch, cmd_timeline};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dsspy analyze  <capture> [--json] [--selective]\n  \
+         dsspy chart    <capture> [--instance N] [--svg PATH]\n  \
+         dsspy timeline <capture> [--instance N] [--svg PATH]\n  \
+         dsspy diff     <before> <after>\n  \
+         dsspy sketch   <capture>\n  \
+         dsspy report   <capture> --out <report.html>\n  \
+         dsspy csv      <capture> <instances|usecases>"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let positional: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Drop values that belong to a --flag VALUE pair.
+            let idx = args.iter().position(|x| x == *a).unwrap_or(0);
+            idx == 0 || !matches!(args[idx - 1].as_str(), "--instance" | "--svg" | "--out")
+        })
+        .collect();
+
+    let instance: usize = value("--instance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let svg: Option<PathBuf> = value("--svg").map(PathBuf::from);
+
+    let result = match command.as_str() {
+        "analyze" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            cmd_analyze(Path::new(path), flag("--json"), flag("--selective"))
+        }
+        "chart" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            cmd_chart(Path::new(path), instance, svg.as_deref())
+        }
+        "timeline" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            cmd_timeline(Path::new(path), instance, svg.as_deref())
+        }
+        "diff" => {
+            let (Some(before), Some(after)) = (positional.first(), positional.get(1)) else {
+                usage()
+            };
+            cmd_diff(Path::new(before), Path::new(after))
+        }
+        "sketch" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            cmd_sketch(Path::new(path))
+        }
+        "csv" => {
+            let (Some(path), Some(what)) = (positional.first(), positional.get(1)) else {
+                usage()
+            };
+            cmd_csv(Path::new(path), what)
+        }
+        "report" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let Some(out) = value("--out") else { usage() };
+            cmd_report(Path::new(path), Path::new(&out))
+        }
+        _ => usage(),
+    };
+
+    match result {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("dsspy: {e}");
+            std::process::exit(1);
+        }
+    }
+}

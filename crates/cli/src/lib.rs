@@ -1,0 +1,294 @@
+//! # dsspy-cli — command-line front end over saved captures
+//!
+//! The paper's workflow separates collection from analysis (§IV); the
+//! natural CLI follows: programs save a capture
+//! (`dsspy_collect::save_capture`), and this tool analyzes, charts, diffs
+//! and sketches it offline.
+//!
+//! ```text
+//! dsspy analyze  capture.dsspycap [--json] [--selective]
+//! dsspy chart    capture.dsspycap --instance 0 [--svg out.svg]
+//! dsspy timeline capture.dsspycap --instance 0 [--svg out.svg]
+//! dsspy diff     before.dsspycap after.dsspycap
+//! dsspy sketch   capture.dsspycap
+//! dsspy report   capture.dsspycap --out report.html
+//! ```
+//!
+//! Every command is a library function here so it is testable without
+//! spawning processes; the binary is a thin argv switch.
+
+use dsspy_collect::{load_capture, PersistError};
+use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy};
+use dsspy_patterns::{analyze, segment_phases, MinerConfig, PhaseConfig};
+use dsspy_viz::html_report;
+use dsspy_viz::{profile_chart_svg, profile_chart_text, timeline_svg, timeline_text, ChartConfig};
+use std::path::Path;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Capture file could not be read.
+    Capture(PersistError),
+    /// The requested instance index does not exist.
+    NoSuchInstance(usize, usize),
+    /// Report serialization failed.
+    Json(String),
+    /// Output file could not be written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Capture(e) => write!(f, "cannot read capture: {e}"),
+            CliError::NoSuchInstance(want, have) => {
+                write!(f, "no instance #{want} (capture has {have})")
+            }
+            CliError::Json(e) => write!(f, "cannot serialize report: {e}"),
+            CliError::Io(e) => write!(f, "cannot write output: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError::Capture(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// `dsspy analyze`: full report for a capture, as text or JSON.
+pub fn cmd_analyze(path: &Path, json: bool, selective: bool) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let dsspy = if selective {
+        Dsspy::new().selective()
+    } else {
+        Dsspy::new()
+    };
+    let report = dsspy.analyze_capture(&capture);
+    if json {
+        serde_json::to_string_pretty(&report).map_err(|e| CliError::Json(e.to_string()))
+    } else {
+        let mut out = report.summary();
+        out.push_str("\n\n");
+        out.push_str(&report.render_use_cases());
+        let advisories = report.render_advisories();
+        if !advisories.is_empty() {
+            out.push('\n');
+            out.push_str(&advisories);
+        }
+        Ok(out)
+    }
+}
+
+/// `dsspy chart`: the Fig. 2/3-style profile chart of one instance.
+pub fn cmd_chart(path: &Path, instance: usize, svg_out: Option<&Path>) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let profile = capture
+        .profiles
+        .get(instance)
+        .ok_or(CliError::NoSuchInstance(instance, capture.profiles.len()))?;
+    let config = ChartConfig::default();
+    if let Some(out) = svg_out {
+        std::fs::write(out, profile_chart_svg(profile, &config))?;
+    }
+    Ok(profile_chart_text(profile, &config))
+}
+
+/// `dsspy timeline`: the mined-pattern/phase timeline of one instance.
+pub fn cmd_timeline(
+    path: &Path,
+    instance: usize,
+    svg_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let profile = capture
+        .profiles
+        .get(instance)
+        .ok_or(CliError::NoSuchInstance(instance, capture.profiles.len()))?;
+    let analysis = analyze(profile, &MinerConfig::default());
+    let phases = segment_phases(profile, &PhaseConfig::default());
+    if let Some(out) = svg_out {
+        std::fs::write(out, timeline_svg(profile, &analysis.patterns, &phases))?;
+    }
+    Ok(timeline_text(profile, &analysis.patterns, &phases, 100))
+}
+
+/// `dsspy diff`: compare the verdicts of two captures.
+pub fn cmd_diff(before: &Path, after: &Path) -> Result<String, CliError> {
+    let dsspy = Dsspy::new();
+    let before_report = dsspy.analyze_capture(&load_capture(before)?);
+    let after_report = dsspy.analyze_capture(&load_capture(after)?);
+    let diff = diff_reports(&before_report, &after_report);
+    let mut out = diff.summary();
+    out.push('\n');
+    for key in &diff.resolved {
+        out.push_str(&format!("resolved:   {} ({})\n", key.site, key.kind));
+    }
+    for key in &diff.introduced {
+        out.push_str(&format!("introduced: {} ({})\n", key.site, key.kind));
+    }
+    for key in &diff.unchanged {
+        out.push_str(&format!("unchanged:  {} ({})\n", key.site, key.kind));
+    }
+    Ok(out)
+}
+
+/// `dsspy csv`: machine-readable exports (instances + use cases).
+pub fn cmd_csv(path: &Path, what: &str) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let report = Dsspy::new().analyze_capture(&capture);
+    match what {
+        "instances" => Ok(instances_csv(&report)),
+        "usecases" => Ok(use_cases_csv(&report)),
+        other => Err(CliError::Json(format!(
+            "unknown csv kind {other:?} (instances|usecases)"
+        ))),
+    }
+}
+
+/// `dsspy report`: self-contained HTML report with embedded charts.
+pub fn cmd_report(path: &Path, out: &Path) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let report = Dsspy::new().analyze_capture(&capture);
+    let html = html_report(&report, &capture.profiles);
+    std::fs::write(out, &html)?;
+    Ok(format!(
+        "wrote {} ({} bytes): {}",
+        out.display(),
+        html.len(),
+        report.summary()
+    ))
+}
+
+/// `dsspy sketch`: transformation sketches for every detection.
+pub fn cmd_sketch(path: &Path) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let report = Dsspy::new().analyze_capture(&capture);
+    let sketches = sketches(&report);
+    if sketches.is_empty() {
+        return Ok("No use cases detected — nothing to transform.\n".into());
+    }
+    Ok(sketches
+        .iter()
+        .map(|s| s.render())
+        .collect::<Vec<_>>()
+        .join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_collect::{save_capture, Session};
+    use dsspy_collections::{site, SpyVec};
+
+    fn temp_capture(hot: bool, name: &str) -> std::path::PathBuf {
+        let session = Session::new();
+        {
+            let mut l = SpyVec::register(&session, site!("cli_hot"));
+            for i in 0..(if hot { 300 } else { 5 }) {
+                l.add(i);
+            }
+            let mut m = SpyVec::register_manual(&session, site!("cli_manual"));
+            m.add(1);
+        }
+        let capture = session.finish();
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        save_capture(&capture, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn analyze_text_and_json() {
+        let path = temp_capture(true, "a.dsspycap");
+        let text = cmd_analyze(&path, false, false).unwrap();
+        assert!(text.contains("Long-Insert"), "{text}");
+        let json = cmd_analyze(&path, true, false).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["instances"].is_array());
+    }
+
+    #[test]
+    fn analyze_selective_filters_to_manual() {
+        let path = temp_capture(true, "sel.dsspycap");
+        let json = cmd_analyze(&path, true, true).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["instances"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chart_and_timeline_render() {
+        let path = temp_capture(true, "c.dsspycap");
+        let chart = cmd_chart(&path, 0, None).unwrap();
+        assert!(chart.contains("legend:"));
+        let timeline = cmd_timeline(&path, 0, None).unwrap();
+        assert!(timeline.contains("Insert-Back"), "{timeline}");
+        // SVG outputs land on disk.
+        let svg_path = path.with_extension("svg");
+        cmd_chart(&path, 0, Some(&svg_path)).unwrap();
+        assert!(std::fs::read_to_string(&svg_path)
+            .unwrap()
+            .starts_with("<svg"));
+    }
+
+    #[test]
+    fn chart_rejects_bad_instance() {
+        let path = temp_capture(true, "bad.dsspycap");
+        let err = cmd_chart(&path, 99, None).unwrap_err();
+        assert!(matches!(err, CliError::NoSuchInstance(99, 2)));
+    }
+
+    #[test]
+    fn diff_between_two_captures() {
+        let hot = temp_capture(true, "before.dsspycap");
+        let cold = temp_capture(false, "after.dsspycap");
+        let out = cmd_diff(&hot, &cold).unwrap();
+        assert!(out.contains("1 resolved"), "{out}");
+        assert!(out.contains("cli_hot"));
+    }
+
+    #[test]
+    fn sketch_renders_transformations() {
+        let path = temp_capture(true, "s.dsspycap");
+        let out = cmd_sketch(&path).unwrap();
+        assert!(out.contains("par_for_init"), "{out}");
+        let cold = temp_capture(false, "cold.dsspycap");
+        let none = cmd_sketch(&cold).unwrap();
+        assert!(none.contains("nothing to transform"));
+    }
+
+    #[test]
+    fn csv_exports() {
+        let path = temp_capture(true, "csv.dsspycap");
+        let instances = cmd_csv(&path, "instances").unwrap();
+        assert!(instances.lines().count() >= 3);
+        let cases = cmd_csv(&path, "usecases").unwrap();
+        assert!(cases.contains("Long-Insert"));
+        assert!(cmd_csv(&path, "bogus").is_err());
+    }
+
+    #[test]
+    fn report_writes_html() {
+        let path = temp_capture(true, "r.dsspycap");
+        let out = path.with_extension("html");
+        let msg = cmd_report(&path, &out).unwrap();
+        assert!(msg.contains("bytes"));
+        let html = std::fs::read_to_string(&out).unwrap();
+        assert!(html.contains("Long-Insert"));
+    }
+
+    #[test]
+    fn missing_file_is_a_capture_error() {
+        let err = cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false).unwrap_err();
+        assert!(matches!(err, CliError::Capture(_)));
+    }
+}

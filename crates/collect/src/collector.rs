@@ -1,0 +1,198 @@
+//! The background collector thread and the post-mortem capture it produces.
+//!
+//! DSspy "keeps the execution slowdown low by only recording the access
+//! events at runtime and analyzing them post-mortem", running the analysis
+//! module concurrently and feeding it "via asynchronous intra-process
+//! communication" (§IV). The collector thread here plays that role: it owns
+//! the growing per-instance event lists so the profiled code never touches a
+//! shared log under a lock.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Receiver;
+use dsspy_events::{AccessEvent, InstanceId, InstanceInfo, RuntimeProfile};
+use serde::{Deserialize, Serialize};
+
+/// Messages from instrumented code to the collector thread.
+pub(crate) enum Msg {
+    /// A batch of events for one instance, in per-thread order.
+    Batch(InstanceId, Vec<AccessEvent>),
+    /// Session shutdown: drain whatever is already queued, then stop.
+    Stop,
+}
+
+/// Counters describing what the collector saw. Used by the evaluation to
+/// report profiling volume alongside slowdown (Table IV).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectorStats {
+    /// Total events received and stored.
+    pub events: u64,
+    /// Number of batches those events arrived in.
+    pub batches: u64,
+    /// Events dropped because they were recorded after session shutdown.
+    pub dropped: u64,
+}
+
+/// Spawn the collector thread on `rx`.
+///
+/// The thread accumulates events until it sees [`Msg::Stop`]; it then drains
+/// everything already in the channel (batches flushed by structures dropped
+/// before shutdown) and returns the per-instance event map.
+pub(crate) fn spawn(
+    rx: Receiver<Msg>,
+) -> JoinHandle<(HashMap<InstanceId, Vec<AccessEvent>>, CollectorStats)> {
+    std::thread::Builder::new()
+        .name("dsspy-collector".into())
+        .spawn(move || {
+            let mut map: HashMap<InstanceId, Vec<AccessEvent>> = HashMap::new();
+            let mut stats = CollectorStats::default();
+            let mut store =
+                |id: InstanceId, batch: Vec<AccessEvent>, stats: &mut CollectorStats| {
+                    stats.events += batch.len() as u64;
+                    stats.batches += 1;
+                    map.entry(id).or_default().extend(batch);
+                };
+            // Phase 1: normal operation until Stop (or all senders gone).
+            loop {
+                match rx.recv() {
+                    Ok(Msg::Batch(id, batch)) => store(id, batch, &mut stats),
+                    Ok(Msg::Stop) | Err(_) => break,
+                }
+            }
+            // Phase 2: drain batches that were already queued at shutdown.
+            while let Ok(msg) = rx.try_recv() {
+                if let Msg::Batch(id, batch) = msg {
+                    store(id, batch, &mut stats);
+                }
+            }
+            (map, stats)
+        })
+        .expect("failed to spawn dsspy collector thread")
+}
+
+/// The result of a finished profiling session: one [`RuntimeProfile`] per
+/// registered instance (instances that were never accessed get an empty
+/// profile — they still count toward the search-space denominator in §V),
+/// plus collection statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Capture {
+    /// Per-instance profiles in registration order.
+    pub profiles: Vec<RuntimeProfile>,
+    /// What the collector saw.
+    pub stats: CollectorStats,
+    /// Wall-clock duration of the session, in nanoseconds.
+    pub session_nanos: u64,
+}
+
+impl Capture {
+    /// Assemble a capture from the registry snapshot and the event map.
+    pub(crate) fn assemble(
+        instances: Vec<InstanceInfo>,
+        mut events: HashMap<InstanceId, Vec<AccessEvent>>,
+        stats: CollectorStats,
+        session_nanos: u64,
+    ) -> Capture {
+        let profiles = instances
+            .into_iter()
+            .map(|info| {
+                let evs = events.remove(&info.id).unwrap_or_default();
+                RuntimeProfile::new(info, evs)
+            })
+            .collect();
+        Capture {
+            profiles,
+            stats,
+            session_nanos,
+        }
+    }
+
+    /// Number of registered instances (the search-space denominator).
+    pub fn instance_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Total events across all profiles.
+    pub fn event_count(&self) -> usize {
+        self.profiles.iter().map(|p| p.len()).sum()
+    }
+
+    /// The profile of one instance, if it exists.
+    pub fn profile(&self, id: InstanceId) -> Option<&RuntimeProfile> {
+        self.profiles.iter().find(|p| p.instance.id == id)
+    }
+
+    /// Profiles that actually saw at least one access event.
+    pub fn touched_profiles(&self) -> impl Iterator<Item = &RuntimeProfile> {
+        self.profiles.iter().filter(|p| !p.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessKind, AllocationSite, DsKind};
+
+    fn info(id: u64) -> InstanceInfo {
+        InstanceInfo::new(
+            InstanceId(id),
+            AllocationSite::new("C", "m", id as u32),
+            DsKind::List,
+            "i32",
+        )
+    }
+
+    #[test]
+    fn assemble_pairs_instances_with_events() {
+        let mut events = HashMap::new();
+        events.insert(
+            InstanceId(0),
+            vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
+        );
+        let cap = Capture::assemble(
+            vec![info(0), info(1)],
+            events,
+            CollectorStats::default(),
+            1000,
+        );
+        assert_eq!(cap.instance_count(), 2);
+        assert_eq!(cap.event_count(), 1);
+        assert_eq!(cap.profile(InstanceId(0)).unwrap().len(), 1);
+        assert!(cap.profile(InstanceId(1)).unwrap().is_empty());
+        assert_eq!(cap.touched_profiles().count(), 1);
+        assert!(cap.profile(InstanceId(7)).is_none());
+    }
+
+    #[test]
+    fn collector_thread_drains_after_stop() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let join = spawn(rx);
+        tx.send(Msg::Batch(
+            InstanceId(0),
+            vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
+        ))
+        .unwrap();
+        tx.send(Msg::Stop).unwrap();
+        // Queued before the collector exits its drain loop is not guaranteed
+        // for sends *after* Stop, but sends before Stop must be stored.
+        let (map, stats) = join.join().unwrap();
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(map[&InstanceId(0)].len(), 1);
+    }
+
+    #[test]
+    fn collector_thread_stops_when_senders_drop() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let join = spawn(rx);
+        tx.send(Msg::Batch(
+            InstanceId(3),
+            vec![AccessEvent::at(0, AccessKind::Read, 0, 1)],
+        ))
+        .unwrap();
+        drop(tx);
+        let (map, stats) = join.join().unwrap();
+        assert_eq!(stats.events, 1);
+        assert!(map.contains_key(&InstanceId(3)));
+    }
+}

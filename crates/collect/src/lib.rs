@@ -1,0 +1,41 @@
+//! # dsspy-collect — runtime profile collection
+//!
+//! This crate is the dynamic-analysis substrate of DSspy (paper §IV,
+//! *Creation of runtime profiles*). The paper instruments interface methods
+//! via Roslyn and ships access events to a separate analysis process over
+//! asynchronous intra-process communication, explicitly to avoid the two
+//! classic log-sink pitfalls: file I/O is slow, and in-memory logs have a
+//! hard size ceiling inside the profiled process.
+//!
+//! We reproduce the same architecture inside one Rust process:
+//!
+//! * Every instrumented data structure owns an [`InstanceHandle`] that
+//!   buffers events locally (no locking on the hot path) and ships them in
+//!   batches over a crossbeam channel.
+//! * A dedicated **collector thread** receives the batches and assembles the
+//!   per-instance chronological event lists, off the application's critical
+//!   path.
+//! * When the [`Session`] is finished, the collector drains, joins, and the
+//!   per-instance [`dsspy_events::RuntimeProfile`]s are handed to
+//!   post-mortem analysis.
+//!
+//! Timestamps combine a session-global atomic sequence number (total order)
+//! with wall-clock nanoseconds from a monotonic [`SessionClock`], and every
+//! event carries the [`dsspy_events::ThreadTag`] of the thread that raised
+//! it so that multi-threaded programs can be profiled (§IV).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collector;
+pub mod persist;
+pub mod recorder;
+pub mod registry;
+pub mod session;
+
+pub use clock::SessionClock;
+pub use collector::{Capture, CollectorStats};
+pub use persist::{load_capture, read_capture, save_capture, write_capture, PersistError};
+pub use recorder::Recorder;
+pub use registry::Registry;
+pub use session::{InstanceHandle, Session, SessionConfig};

@@ -1,0 +1,138 @@
+//! The instance registry: who is being profiled.
+//!
+//! The paper's static-analysis pass identifies every list and array instance
+//! and its declaration site before instrumenting it (§IV). In our
+//! wrapper-based reproduction the equivalent step happens at construction
+//! time: each `Spy*` collection registers itself here with its allocation
+//! site, receives an [`InstanceId`], and all its events are bound to that id.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dsspy_events::{AllocationSite, DsKind, InstanceId, InstanceInfo, Origin};
+use parking_lot::RwLock;
+
+/// Thread-safe registry of instrumented instances for one session.
+#[derive(Debug, Default)]
+pub struct Registry {
+    next_id: AtomicU64,
+    infos: RwLock<Vec<InstanceInfo>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a new instance and return its session-unique id.
+    pub fn register(
+        &self,
+        site: AllocationSite,
+        kind: DsKind,
+        elem_type: impl Into<String>,
+    ) -> InstanceId {
+        self.register_with_origin(site, kind, elem_type, Origin::Auto)
+    }
+
+    /// Register with an explicit [`Origin`] (selective profiling, §IV).
+    pub fn register_with_origin(
+        &self,
+        site: AllocationSite,
+        kind: DsKind,
+        elem_type: impl Into<String>,
+        origin: Origin,
+    ) -> InstanceId {
+        let id = InstanceId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let mut info = InstanceInfo::new(id, site, kind, elem_type);
+        info.origin = origin;
+        self.infos.write().push(info);
+        id
+    }
+
+    /// Number of instances registered so far. This is the denominator of the
+    /// paper's *search space reduction* metric (§V): the engineer would have
+    /// to inspect every one of these without DSspy.
+    pub fn len(&self) -> usize {
+        self.infos.read().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.infos.read().is_empty()
+    }
+
+    /// Metadata of one instance, if it exists.
+    pub fn info(&self, id: InstanceId) -> Option<InstanceInfo> {
+        self.infos.read().iter().find(|i| i.id == id).cloned()
+    }
+
+    /// Snapshot of all registered instances, in registration order.
+    pub fn snapshot(&self) -> Vec<InstanceInfo> {
+        self.infos.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_assigns_distinct_ids() {
+        let r = Registry::new();
+        let a = r.register(AllocationSite::new("A", "f", 1), DsKind::List, "i32");
+        let b = r.register(AllocationSite::new("A", "g", 2), DsKind::Array, "f64");
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.info(a).unwrap().kind, DsKind::List);
+        assert_eq!(r.info(b).unwrap().elem_type, "f64");
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let r = Registry::new();
+        assert!(r.info(InstanceId(99)).is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let r = Registry::new();
+        for i in 0..10 {
+            r.register(AllocationSite::new("C", "m", i), DsKind::List, "u8");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (i, info) in snap.iter().enumerate() {
+            assert_eq!(info.site.position, i as u32);
+        }
+    }
+
+    #[test]
+    fn concurrent_registration_yields_unique_ids() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| {
+                        r.register(
+                            AllocationSite::new("T", "m", t * 1000 + i),
+                            DsKind::List,
+                            "i32",
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut ids = std::collections::HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(ids.insert(id));
+            }
+        }
+        assert_eq!(ids.len(), 800);
+        assert_eq!(r.len(), 800);
+    }
+}

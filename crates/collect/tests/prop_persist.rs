@@ -1,0 +1,109 @@
+//! Property tests: capture persistence is lossless for arbitrary captures,
+//! and corrupted files never panic the loader.
+
+use dsspy_collect::persist::{read_capture, write_capture};
+use dsspy_collect::{Capture, CollectorStats};
+use dsspy_events::{
+    AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo, RuntimeProfile,
+    Target, ThreadTag,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    (0u8..11).prop_map(|v| AccessKind::from_u8(v).unwrap())
+}
+
+fn arb_event() -> impl Strategy<Value = AccessEvent> {
+    (
+        any::<u32>(),
+        arb_kind(),
+        any::<u32>(),
+        any::<u32>(),
+        0u32..4,
+    )
+        .prop_map(|(seq, kind, idx, len, thread)| AccessEvent {
+            seq: u64::from(seq),
+            nanos: u64::from(seq) * 3,
+            kind,
+            target: Target::Index(idx),
+            len,
+            thread: ThreadTag(thread),
+        })
+}
+
+fn arb_profile(id: u64) -> impl Strategy<Value = RuntimeProfile> {
+    (
+        proptest::collection::vec(arb_event(), 0..200),
+        "[A-Za-z][A-Za-z0-9.]{0,20}",
+        "[A-Za-z][A-Za-z0-9_]{0,15}",
+        any::<u16>(),
+    )
+        .prop_map(move |(events, class, method, pos)| {
+            RuntimeProfile::new(
+                InstanceInfo::new(
+                    InstanceId(id),
+                    AllocationSite::new(class, method, u32::from(pos)),
+                    DsKind::List,
+                    "i64",
+                ),
+                events,
+            )
+        })
+}
+
+fn arb_capture() -> impl Strategy<Value = Capture> {
+    proptest::collection::vec(any::<u8>(), 0..5).prop_flat_map(|ids| {
+        let profiles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_profile(i as u64))
+            .collect();
+        (profiles, any::<u32>(), any::<u32>()).prop_map(|(profiles, events, nanos)| Capture {
+            profiles,
+            stats: CollectorStats {
+                events: u64::from(events),
+                batches: u64::from(events) / 7,
+                dropped: 0,
+            },
+            session_nanos: u64::from(nanos),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn capture_roundtrip(capture in arb_capture()) {
+        let mut buf = Vec::new();
+        write_capture(&capture, &mut buf).unwrap();
+        let back = read_capture(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.profiles.len(), capture.profiles.len());
+        prop_assert_eq!(back.stats, capture.stats);
+        prop_assert_eq!(back.session_nanos, capture.session_nanos);
+        for (a, b) in back.profiles.iter().zip(capture.profiles.iter()) {
+            prop_assert_eq!(&a.instance, &b.instance);
+            prop_assert_eq!(&a.events, &b.events);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(capture in arb_capture(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_capture(&capture, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        let _ = read_capture(&buf[..cut]); // error or (very rarely) a prefix — never a panic
+    }
+
+    #[test]
+    fn bitflips_never_panic(capture in arb_capture(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = Vec::new();
+        write_capture(&capture, &mut buf).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        let _ = read_capture(buf.as_slice()); // any outcome but a panic
+    }
+}

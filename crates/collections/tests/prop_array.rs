@@ -1,0 +1,107 @@
+//! Property tests: `SpyArray` mirrors a plain `Vec` model under random
+//! operation sequences, including the resize/shift emulation, and its event
+//! stream stays structurally sound.
+
+use dsspy_collect::Session;
+use dsspy_collections::{site, SpyArray};
+use dsspy_events::AccessKind;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(usize),
+    Set(usize, i32),
+    Fill(i32),
+    Resize(usize),
+    InsertShift(usize, i32),
+    DeleteShift(usize),
+    Find(i32),
+    Sort,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<usize>().prop_map(Op::Get),
+        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::Set(i, v)),
+        any::<i32>().prop_map(Op::Fill),
+        (0usize..64).prop_map(Op::Resize),
+        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::InsertShift(i, v)),
+        any::<usize>().prop_map(Op::DeleteShift),
+        any::<i32>().prop_map(Op::Find),
+        Just(Op::Sort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spyarray_equals_vec_model(
+        initial in 0usize..32,
+        ops in proptest::collection::vec(arb_op(), 0..80),
+    ) {
+        let session = Session::new();
+        let mut spy: SpyArray<i32> = SpyArray::register(&session, site!("prop"), initial);
+        let mut model: Vec<i32> = vec![0; initial];
+
+        for op in &ops {
+            match *op {
+                Op::Get(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        prop_assert_eq!(*spy.get(i), model[i]);
+                    }
+                }
+                Op::Set(i, v) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        spy.set(i, v);
+                        model[i] = v;
+                    }
+                }
+                Op::Fill(v) => {
+                    spy.fill(v);
+                    model.iter_mut().for_each(|slot| *slot = v);
+                }
+                Op::Resize(n) => {
+                    spy.resize(n);
+                    model.resize(n, 0);
+                }
+                Op::InsertShift(i, v) => {
+                    let i = i % (model.len() + 1);
+                    spy.insert_shift(i, v);
+                    model.insert(i, v);
+                }
+                Op::DeleteShift(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        prop_assert_eq!(spy.delete_shift(i), model.remove(i));
+                    }
+                }
+                Op::Find(v) => {
+                    prop_assert_eq!(spy.find(|x| *x == v), model.iter().position(|x| *x == v));
+                }
+                Op::Sort => {
+                    spy.sort();
+                    model.sort_unstable();
+                }
+            }
+            prop_assert_eq!(spy.raw(), model.as_slice());
+            prop_assert_eq!(spy.len(), model.len());
+        }
+
+        drop(spy);
+        let cap = session.finish();
+        let profile = &cap.profiles[0];
+        // Sequence numbers strictly increase; positional events stay in
+        // bounds of their recorded lengths.
+        prop_assert!(profile.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        for e in &profile.events {
+            if e.kind == AccessKind::Read || e.kind == AccessKind::Write {
+                if let Some(i) = e.index() {
+                    prop_assert!(i < e.len.max(1), "{e:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests: instrumented collections are behaviourally equivalent to
+//! their std counterparts under random operation sequences, and the profile
+//! they produce is structurally sound (one event per operation, sizes
+//! consistent with the evolving length).
+
+use dsspy_collect::Session;
+use dsspy_collections::{site, SpyVec};
+use proptest::prelude::*;
+
+/// A random `List<T>` operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(i32),
+    Insert(usize, i32),
+    Get(usize),
+    Set(usize, i32),
+    RemoveAt(usize),
+    Clear,
+    Contains(i32),
+    Sort,
+    Reverse,
+    Iterate,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i32>().prop_map(Op::Add),
+        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::Insert(i, v)),
+        any::<usize>().prop_map(Op::Get),
+        (any::<usize>(), any::<i32>()).prop_map(|(i, v)| Op::Set(i, v)),
+        any::<usize>().prop_map(Op::RemoveAt),
+        Just(Op::Clear),
+        any::<i32>().prop_map(Op::Contains),
+        Just(Op::Sort),
+        Just(Op::Reverse),
+        Just(Op::Iterate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spyvec_equals_vec(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let session = Session::new();
+        let mut spy = SpyVec::register(&session, site!("prop"));
+        let mut model: Vec<i32> = Vec::new();
+        let mut expected_events = 0usize;
+
+        for op in &ops {
+            match *op {
+                Op::Add(v) => {
+                    spy.add(v);
+                    model.push(v);
+                    expected_events += 1;
+                }
+                Op::Insert(i, v) => {
+                    let i = if model.is_empty() { 0 } else { i % (model.len() + 1) };
+                    spy.insert(i, v);
+                    model.insert(i, v);
+                    expected_events += 1;
+                }
+                Op::Get(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        prop_assert_eq!(*spy.get(i), model[i]);
+                        expected_events += 1;
+                    }
+                }
+                Op::Set(i, v) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        spy.set(i, v);
+                        model[i] = v;
+                        expected_events += 1;
+                    }
+                }
+                Op::RemoveAt(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        prop_assert_eq!(spy.remove_at(i), model.remove(i));
+                        expected_events += 1;
+                    }
+                }
+                Op::Clear => {
+                    spy.clear();
+                    model.clear();
+                    expected_events += 1;
+                }
+                Op::Contains(v) => {
+                    prop_assert_eq!(spy.contains(&v), model.contains(&v));
+                    expected_events += 1;
+                }
+                Op::Sort => {
+                    spy.sort();
+                    model.sort_unstable();
+                    expected_events += 1;
+                }
+                Op::Reverse => {
+                    spy.reverse();
+                    model.reverse();
+                    expected_events += 1;
+                }
+                Op::Iterate => {
+                    let got: Vec<i32> = spy.iter().copied().collect();
+                    prop_assert_eq!(&got, &model);
+                    expected_events += model.len();
+                }
+            }
+            prop_assert_eq!(spy.raw(), model.as_slice());
+        }
+
+        drop(spy);
+        let cap = session.finish();
+        prop_assert_eq!(cap.instance_count(), 1);
+        let profile = &cap.profiles[0];
+        prop_assert_eq!(profile.len(), expected_events, "one event per operation");
+        // Sequence numbers are strictly increasing (chronological order).
+        prop_assert!(profile.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        // No event reports a position beyond the structure size it carries.
+        for e in &profile.events {
+            if let Some(i) = e.index() {
+                prop_assert!(
+                    i <= e.len,
+                    "event {:?} has index beyond its recorded length",
+                    e
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Measurement helpers for the evaluation (paper §V, Tables IV and VI):
+//! slowdown factors, averaged timings, and search-space bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Average wall-clock nanoseconds of `runs` executions of `f`.
+///
+/// The paper "wrote a tool that runs all instrumented versions ten times and
+/// computes their average execution times" — this is that tool.
+pub fn measure_avg_nanos(runs: usize, mut f: impl FnMut()) -> u64 {
+    let runs = runs.max(1);
+    let start = std::time::Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    (start.elapsed().as_nanos() / runs as u128) as u64
+}
+
+/// One slowdown measurement: plain vs. instrumented execution.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Slowdown {
+    /// Average runtime of the plain (ghost-mode) program, nanoseconds.
+    pub plain_nanos: u64,
+    /// Average runtime of the instrumented program, nanoseconds.
+    pub instrumented_nanos: u64,
+}
+
+impl Slowdown {
+    /// Measure both variants, `runs` times each.
+    pub fn measure(runs: usize, mut plain: impl FnMut(), mut instrumented: impl FnMut()) -> Self {
+        Slowdown {
+            plain_nanos: measure_avg_nanos(runs, &mut plain),
+            instrumented_nanos: measure_avg_nanos(runs, &mut instrumented),
+        }
+    }
+
+    /// The slowdown factor (Table IV's "Profiling Slowdown" column).
+    pub fn factor(&self) -> f64 {
+        if self.plain_nanos == 0 {
+            return 0.0;
+        }
+        self.instrumented_nanos as f64 / self.plain_nanos as f64
+    }
+}
+
+/// Search-space bookkeeping for one program (Table IV's "Data Structures"
+/// and "Search Space Reduction" columns).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SearchSpaceReduction {
+    /// Instances in the program (what the engineer faces without DSspy).
+    pub total_instances: usize,
+    /// Instances DSspy's use cases reference.
+    pub flagged_instances: usize,
+}
+
+impl SearchSpaceReduction {
+    /// The reduction fraction, e.g. 0.7692 for 104 → 24.
+    pub fn reduction(&self) -> f64 {
+        if self.total_instances == 0 {
+            return 0.0;
+        }
+        1.0 - self.flagged_instances as f64 / self.total_instances as f64
+    }
+
+    /// Render as the paper does, e.g. `"4 of 16 (75.00%)"`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} of {} ({:.2}%)",
+            self.flagged_instances,
+            self.total_instances,
+            self.reduction() * 100.0
+        )
+    }
+}
+
+/// A sequential-vs-parallel speedup observation (Table IV's "Total Speedup"
+/// and the per-use-case speedups of §V).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Speedup {
+    /// Sequential runtime, nanoseconds.
+    pub sequential_nanos: u64,
+    /// Parallel (recommendation-following) runtime, nanoseconds.
+    pub parallel_nanos: u64,
+}
+
+impl Speedup {
+    /// Measure both variants, `runs` times each.
+    pub fn measure(runs: usize, mut sequential: impl FnMut(), mut parallel: impl FnMut()) -> Self {
+        Speedup {
+            sequential_nanos: measure_avg_nanos(runs, &mut sequential),
+            parallel_nanos: measure_avg_nanos(runs, &mut parallel),
+        }
+    }
+
+    /// The speedup factor (sequential / parallel).
+    pub fn factor(&self) -> f64 {
+        if self.parallel_nanos == 0 {
+            return 0.0;
+        }
+        self.sequential_nanos as f64 / self.parallel_nanos as f64
+    }
+}
+
+/// Sequential-fraction bookkeeping for Table VI: how much of a program's
+/// runtime is inherently sequential vs. parallelizable.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RuntimeFractions {
+    /// Runtime of the parts that must stay sequential, nanoseconds.
+    pub sequential_nanos: u64,
+    /// Runtime of the parts that can be parallelized, nanoseconds.
+    pub parallelizable_nanos: u64,
+}
+
+impl RuntimeFractions {
+    /// The sequential fraction (Table VI's last column): the higher it is,
+    /// the lower the parallel potential (Amdahl).
+    pub fn sequential_fraction(&self) -> f64 {
+        let total = self.sequential_nanos + self.parallelizable_nanos;
+        if total == 0 {
+            return 0.0;
+        }
+        self.sequential_nanos as f64 / total as f64
+    }
+
+    /// Amdahl's-law speedup bound for `threads` workers.
+    pub fn amdahl_bound(&self, threads: usize) -> f64 {
+        let s = self.sequential_fraction();
+        if threads == 0 {
+            return 1.0;
+        }
+        1.0 / (s + (1.0 - s) / threads as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_factor() {
+        let s = Slowdown {
+            plain_nanos: 100,
+            instrumented_nanos: 4_713,
+        };
+        assert!((s.factor() - 47.13).abs() < 1e-9);
+        let zero = Slowdown {
+            plain_nanos: 0,
+            instrumented_nanos: 10,
+        };
+        assert_eq!(zero.factor(), 0.0);
+    }
+
+    #[test]
+    fn reduction_matches_paper_numbers() {
+        // Table IV bottom line: 104 instances, 24 flagged → 76.92 %.
+        let r = SearchSpaceReduction {
+            total_instances: 104,
+            flagged_instances: 24,
+        };
+        assert!((r.reduction() - 0.7692).abs() < 1e-4);
+        assert_eq!(r.render(), "24 of 104 (76.92%)");
+        // Algorithmia row: 16 → 4 = 75.00 %.
+        let a = SearchSpaceReduction {
+            total_instances: 16,
+            flagged_instances: 4,
+        };
+        assert!((a.reduction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_factor() {
+        let s = Speedup {
+            sequential_nanos: 490,
+            parallel_nanos: 170,
+        };
+        assert!((s.factor() - 2.882).abs() < 0.01);
+    }
+
+    #[test]
+    fn fractions_and_amdahl() {
+        // Table VI, CPU Benchmarks: 7600 ms sequential, 460 ms parallel.
+        let f = RuntimeFractions {
+            sequential_nanos: 7_600,
+            parallelizable_nanos: 460,
+        };
+        assert!((f.sequential_fraction() - 0.9429).abs() < 1e-3);
+        // With a 94 % sequential fraction even 8 cores cap out near 1.06.
+        assert!(f.amdahl_bound(8) < 1.1);
+        // gpdotnet: 7000 vs 173000 → 3.89 % sequential, big headroom.
+        let g = RuntimeFractions {
+            sequential_nanos: 7_000,
+            parallelizable_nanos: 173_000,
+        };
+        assert!((g.sequential_fraction() - 0.0389).abs() < 1e-3);
+        assert!(g.amdahl_bound(8) > 5.0);
+    }
+
+    #[test]
+    fn measure_avg_runs_the_closure() {
+        let mut count = 0;
+        let nanos = measure_avg_nanos(5, || count += 1);
+        assert_eq!(count, 5);
+        // Can't assert much about time, but it must be finite and small-ish.
+        assert!(nanos < 1_000_000_000);
+    }
+
+    #[test]
+    fn zero_runs_clamped_to_one() {
+        let mut count = 0;
+        measure_avg_nanos(0, || count += 1);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tabular exports: reports as CSV for spreadsheets and downstream tooling.
+//!
+//! The paper's tables are exactly this kind of artifact; `repro` prints
+//! them, and this module gives users the same data machine-readably.
+
+use crate::report::Report;
+
+/// Escape one CSV field (RFC-4180 style: quote when needed, double quotes).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row per instance: site, kind, events, pattern/use-case counts, and
+/// the headline metrics the classifier used.
+pub fn instances_csv(report: &Report) -> String {
+    let mut out = String::from(
+        "instance_id,class,method,position,ds_kind,elem_type,origin,events,threads,\
+         patterns,insert_phase_share,longest_insert_run,search_ops,read_pattern_count,\
+         regular,use_cases,advisories\n",
+    );
+    for inst in &report.instances {
+        let m = &inst.analysis.metrics;
+        let cases: Vec<String> = inst
+            .use_cases
+            .iter()
+            .map(|u| u.kind.abbrev().to_string())
+            .collect();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:?},{},{},{},{:.4},{},{},{},{},{},{}\n",
+            inst.instance.id.0,
+            field(&inst.instance.site.class),
+            field(&inst.instance.site.method),
+            inst.instance.site.position,
+            inst.instance.kind,
+            field(&inst.instance.elem_type),
+            inst.instance.origin,
+            inst.events,
+            inst.analysis.threads.thread_count,
+            inst.analysis.patterns.len(),
+            m.insert_phase_share,
+            m.longest_insert_run,
+            m.search_ops,
+            m.read_pattern_count,
+            inst.regularity.is_regular(),
+            field(&cases.join("+")),
+            inst.advisories.len(),
+        ));
+    }
+    out
+}
+
+/// One row per detected use case: the Table-V columns plus the evidence.
+pub fn use_cases_csv(report: &Report) -> String {
+    let mut out =
+        String::from("n,class,method,position,data_structure,use_case,parallel,evidence\n");
+    for (n, uc) in report.all_use_cases().iter().enumerate() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            n + 1,
+            field(&uc.instance.site.class),
+            field(&uc.instance.site.method),
+            uc.instance.site.position,
+            field(&uc.instance.display_type()),
+            uc.kind,
+            uc.kind.is_parallel(),
+            field(&uc.reason()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dsspy;
+    use dsspy_collections::{site, SpyVec};
+
+    fn sample() -> Report {
+        Dsspy::new().profile(|session| {
+            let mut hot = SpyVec::register(session, site!("hot"));
+            for i in 0..300 {
+                hot.add(i);
+            }
+            let mut quiet: SpyVec<String> = SpyVec::register(session, site!("quiet"));
+            quiet.add("a,b \"c\"".into());
+        })
+    }
+
+    #[test]
+    fn instances_csv_shape() {
+        let csv = instances_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 instances");
+        assert!(lines[0].starts_with("instance_id,class"));
+        assert!(lines[1].contains("hot"));
+        assert!(lines[1].contains("LI"));
+        assert!(lines[2].contains("quiet"));
+        // Every row has the same number of (unquoted) columns as the header.
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), cols);
+    }
+
+    #[test]
+    fn use_cases_csv_shape() {
+        let csv = use_cases_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "header + 1 case");
+        assert!(lines[1].contains("Long-Insert"));
+        assert!(lines[1].contains("true"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        // The evidence column survives intact (no commas → no quoting).
+        let csv = use_cases_csv(&sample());
+        assert!(csv.contains("longest insertion"));
+    }
+
+    #[test]
+    fn empty_report_exports_headers_only() {
+        let report = Dsspy::new().profile(|_| {});
+        assert_eq!(instances_csv(&report).lines().count(), 1);
+        assert_eq!(use_cases_csv(&report).lines().count(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! The analysis pipeline: capture → patterns → use cases → report.
+
+use dsspy_collect::{Capture, Session, SessionConfig};
+use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
+use dsspy_usecases::{advisories, classify, AdvisoryConfig, Thresholds};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{InstanceReport, Report};
+
+/// Configuration of the post-mortem analysis phases.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Pattern-miner tunables.
+    pub miner: MinerConfig,
+    /// Use-case thresholds (§III-B defaults).
+    pub thresholds: Thresholds,
+    /// Regularity-gate tunables (Table II).
+    pub regularity: RegularityConfig,
+    /// Selective-profiler mode (§IV): analyze only manually instrumented
+    /// instances (`Session::register_manual` / `SpyVec::register_manual`).
+    #[serde(default)]
+    pub selective: bool,
+    /// Misuse-advisory tunables (§II-A structural findings).
+    #[serde(default = "AdvisoryConfig::default")]
+    pub advisories: AdvisoryConfig,
+}
+
+/// The DSspy tool: one value bundling session and analysis configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dsspy {
+    /// Runtime-collection tunables.
+    pub session: SessionConfig,
+    /// Post-mortem analysis tunables.
+    pub analysis: AnalysisConfig,
+}
+
+impl Dsspy {
+    /// A DSspy instance with all defaults (the paper's thresholds).
+    pub fn new() -> Dsspy {
+        Dsspy::default()
+    }
+
+    /// Replace the use-case thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Dsspy {
+        self.analysis.thresholds = thresholds;
+        self
+    }
+
+    /// Replace the miner configuration.
+    pub fn with_miner(mut self, miner: MinerConfig) -> Dsspy {
+        self.analysis.miner = miner;
+        self
+    }
+
+    /// Enable selective-profiler mode: only manually instrumented instances
+    /// are analyzed and reported (§IV).
+    pub fn selective(mut self) -> Dsspy {
+        self.analysis.selective = true;
+        self
+    }
+
+    /// Run `program` under a profiling session and analyze what it did.
+    ///
+    /// This is the full Fig. 4 pipeline in one call: the closure plays the
+    /// instrumented program (create `Spy*` structures against the provided
+    /// session and exercise them), and the returned [`Report`] is the
+    /// *Advice* end of the pipeline.
+    pub fn profile(&self, program: impl FnOnce(&Session)) -> Report {
+        let session = Session::with_config(self.session);
+        program(&session);
+        let capture = session.finish();
+        self.analyze_capture(&capture)
+    }
+
+    /// Post-mortem analysis of an existing capture (e.g. one loaded from
+    /// disk or produced by a long-running session managed by the caller).
+    pub fn analyze_capture(&self, capture: &Capture) -> Report {
+        let mut instances = Vec::with_capacity(capture.profiles.len());
+        for profile in &capture.profiles {
+            if self.analysis.selective && profile.instance.origin != dsspy_events::Origin::Manual {
+                continue;
+            }
+            let analysis = analyze(profile, &self.analysis.miner);
+            let verdict = regularity(&analysis, &self.analysis.regularity);
+            let use_cases = classify(&profile.instance, &analysis, &self.analysis.thresholds);
+            let advisories = advisories(profile, &self.analysis.advisories);
+            instances.push(InstanceReport {
+                instance: profile.instance.clone(),
+                events: profile.len(),
+                analysis,
+                regularity: verdict,
+                use_cases,
+                advisories,
+            });
+        }
+        Report {
+            instances,
+            stats: capture.stats,
+            session_nanos: capture.session_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_collections::{site, SpyQueue, SpyVec};
+    use dsspy_usecases::UseCaseKind;
+
+    #[test]
+    fn pipeline_detects_long_insert_end_to_end() {
+        let report = Dsspy::new().profile(|session| {
+            let mut list = SpyVec::register(session, site!("fill"));
+            for i in 0..500 {
+                list.add(i);
+            }
+        });
+        assert_eq!(report.instance_count(), 1);
+        let cases = report.all_use_cases();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].kind, UseCaseKind::LongInsert);
+    }
+
+    #[test]
+    fn untouched_instances_stay_unflagged() {
+        let report = Dsspy::new().profile(|session| {
+            let _idle: SpyVec<i32> = SpyVec::register(session, site!("idle"));
+            let mut hot = SpyVec::register(session, site!("hot"));
+            for i in 0..500 {
+                hot.add(i);
+            }
+        });
+        assert_eq!(report.instance_count(), 2);
+        assert_eq!(report.flagged_instance_count(), 1);
+        assert!((report.search_space_reduction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_usage_on_a_list_flagged_iq_but_not_on_a_queue() {
+        let report = Dsspy::new().profile(|session| {
+            // Misuse: a list as a queue.
+            let mut list = SpyVec::register(session, site!("list_as_queue"));
+            for i in 0..100 {
+                list.add(i);
+                if list.len() > 2 {
+                    list.remove_at(0);
+                }
+            }
+            // Proper queue: same traffic shape.
+            let mut q = SpyQueue::register(session, site!("real_queue"));
+            for i in 0..100 {
+                q.enqueue(i);
+                if q.len() > 2 {
+                    q.dequeue();
+                }
+            }
+        });
+        let iq: Vec<_> = report
+            .all_use_cases()
+            .into_iter()
+            .filter(|u| u.kind == UseCaseKind::ImplementQueue)
+            .collect();
+        assert_eq!(iq.len(), 1);
+        assert_eq!(iq[0].instance.site.method, "list_as_queue");
+    }
+
+    #[test]
+    fn analyze_capture_is_reusable() {
+        let session = Session::new();
+        {
+            let mut list = SpyVec::register(&session, site!("x"));
+            for i in 0..200 {
+                list.add(i);
+            }
+        }
+        let capture = session.finish();
+        let dsspy = Dsspy::new();
+        let r1 = dsspy.analyze_capture(&capture);
+        let r2 = dsspy.analyze_capture(&capture);
+        assert_eq!(r1.flagged_instance_count(), r2.flagged_instance_count());
+        assert_eq!(r1.all_use_cases().len(), r2.all_use_cases().len());
+    }
+}
+
+#[cfg(test)]
+mod selective_tests {
+    use super::*;
+    use dsspy_collections::{site, SpyVec};
+
+    #[test]
+    fn selective_mode_reports_only_manual_instances() {
+        let drive = |dsspy: Dsspy| {
+            dsspy.profile(|session| {
+                let mut auto = SpyVec::register(session, site!("auto_hot"));
+                for i in 0..500 {
+                    auto.add(i);
+                }
+                let mut manual = SpyVec::register_manual(session, site!("manual_hot"));
+                for i in 0..500 {
+                    manual.add(i);
+                }
+            })
+        };
+        let full = drive(Dsspy::new());
+        assert_eq!(full.instance_count(), 2);
+        assert_eq!(full.all_use_cases().len(), 2);
+
+        let selective = drive(Dsspy::new().selective());
+        assert_eq!(selective.instance_count(), 1);
+        let cases = selective.all_use_cases();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].instance.site.method, "manual_hot");
+    }
+}

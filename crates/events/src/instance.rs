@@ -1,0 +1,297 @@
+//! Data-structure instance identity.
+//!
+//! DSspy binds every access event to the *instance* it targets and every
+//! instance to its *allocation site* — class, method and source position —
+//! so that use cases can be reported back at source level (the paper's
+//! Table V output format).
+
+use serde::{Deserialize, Serialize};
+
+/// Session-unique identifier of one data-structure instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ds#{}", self.0)
+    }
+}
+
+/// The kind of data structure an instance is, mirroring the dynamic data
+/// structures of the .NET Common Type System observed by the empirical study
+/// (§II) plus plain arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DsKind {
+    /// `List<T>` — 65.05 % of all dynamic instances in the study.
+    List,
+    /// `Dictionary<K,V>` — 16.53 %.
+    Dictionary,
+    /// Non-generic `ArrayList`.
+    ArrayList,
+    /// `Stack<T>`.
+    Stack,
+    /// `Queue<T>`.
+    Queue,
+    /// `HashSet<T>`.
+    HashSet,
+    /// `SortedList<K,V>`.
+    SortedList,
+    /// `SortedSet<T>`.
+    SortedSet,
+    /// `SortedDictionary<K,V>`.
+    SortedDictionary,
+    /// `LinkedList<T>`.
+    LinkedList,
+    /// Non-generic `Hashtable`.
+    Hashtable,
+    /// A fixed-size array (`T[]`) — the study counts these separately.
+    Array,
+    /// A double-ended queue (no direct CTS analogue; used by `SpyDeque`).
+    Deque,
+}
+
+impl DsKind {
+    /// All kinds the study's scanner recognizes, dynamic structures first.
+    pub const ALL: [DsKind; 13] = [
+        DsKind::List,
+        DsKind::Dictionary,
+        DsKind::ArrayList,
+        DsKind::Stack,
+        DsKind::Queue,
+        DsKind::HashSet,
+        DsKind::SortedList,
+        DsKind::SortedSet,
+        DsKind::SortedDictionary,
+        DsKind::LinkedList,
+        DsKind::Hashtable,
+        DsKind::Array,
+        DsKind::Deque,
+    ];
+
+    /// Whether the kind is a *dynamic* data structure (grows and shrinks), as
+    /// opposed to a fixed-size array. Table I counts only dynamic instances;
+    /// arrays are tallied separately.
+    pub fn is_dynamic(self) -> bool {
+        !matches!(self, DsKind::Array)
+    }
+
+    /// Whether the kind is *linear*: elements live at integer positions, so
+    /// positional access patterns (Read-Forward, Insert-Back, ...) are
+    /// meaningful. DSspy's automatic mode profiles linear structures.
+    pub fn is_linear(self) -> bool {
+        matches!(
+            self,
+            DsKind::List
+                | DsKind::ArrayList
+                | DsKind::Array
+                | DsKind::Stack
+                | DsKind::Queue
+                | DsKind::LinkedList
+                | DsKind::Deque
+        )
+    }
+
+    /// The C#-style type name used in study output and reports.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            DsKind::List => "List",
+            DsKind::Dictionary => "Dictionary",
+            DsKind::ArrayList => "ArrayList",
+            DsKind::Stack => "Stack",
+            DsKind::Queue => "Queue",
+            DsKind::HashSet => "HashSet",
+            DsKind::SortedList => "SortedList",
+            DsKind::SortedSet => "SortedSet",
+            DsKind::SortedDictionary => "SortedDictionary",
+            DsKind::LinkedList => "LinkedList",
+            DsKind::Hashtable => "Hashtable",
+            DsKind::Array => "Array",
+            DsKind::Deque => "Deque",
+        }
+    }
+}
+
+impl std::fmt::Display for DsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+/// Strip module paths from a Rust type name so reports read like the
+/// paper's (`List<Chromosome>` rather than
+/// `List<dsspy_workloads::programs::gpdotnet::Chromosome>`).
+///
+/// Every `ident::` prefix is removed, including inside generic arguments.
+pub fn short_type_name(full: &str) -> String {
+    let mut out = String::with_capacity(full.len());
+    let mut ident_start = 0usize;
+    let mut chars = full.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == ':' && chars.peek() == Some(&':') {
+            chars.next();
+            out.truncate(ident_start);
+        } else if c.is_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push(c);
+            ident_start = out.len();
+        }
+    }
+    out
+}
+
+/// Where an instance was created: the `Class / Method / Position` triple the
+/// paper prints for every use case (Table V).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AllocationSite {
+    /// Enclosing type, e.g. `GPdotNet.Engine.CHPopulation`.
+    pub class: String,
+    /// Enclosing method, e.g. `FitnessProportionateSelection` or `.ctor`.
+    pub method: String,
+    /// Source position (line number) of the declaration.
+    pub position: u32,
+}
+
+impl AllocationSite {
+    /// Build a site from its three components.
+    pub fn new(class: impl Into<String>, method: impl Into<String>, position: u32) -> Self {
+        AllocationSite {
+            class: class.into(),
+            method: method.into(),
+            position,
+        }
+    }
+
+    /// A placeholder site for instances created outside instrumented code.
+    pub fn unknown() -> Self {
+        AllocationSite::new("<unknown>", "<unknown>", 0)
+    }
+}
+
+impl std::fmt::Display for AllocationSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}:{}", self.class, self.method, self.position)
+    }
+}
+
+/// How an instance entered the session: DSspy's fully automatic mode
+/// instruments every list/array, but the paper also describes a *selective
+/// profiler* mode where the engineer manually instruments just the
+/// instances of interest (§IV).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// Instrumented by the automatic pass (the default).
+    #[default]
+    Auto,
+    /// Manually instrumented by the engineer.
+    Manual,
+}
+
+/// Static metadata about one instrumented instance: identity, allocation
+/// site, structure kind and element type.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceInfo {
+    /// Session-unique id; events reference this.
+    pub id: InstanceId,
+    /// Where the instance was declared.
+    pub site: AllocationSite,
+    /// What kind of structure it is.
+    pub kind: DsKind,
+    /// Element type name, e.g. `System.Double` or `i64`.
+    pub elem_type: String,
+    /// Whether the instance was auto- or manually instrumented.
+    #[serde(default)]
+    pub origin: Origin,
+}
+
+impl InstanceInfo {
+    /// Build instance metadata.
+    pub fn new(
+        id: InstanceId,
+        site: AllocationSite,
+        kind: DsKind,
+        elem_type: impl Into<String>,
+    ) -> Self {
+        InstanceInfo {
+            id,
+            site,
+            kind,
+            elem_type: elem_type.into(),
+            origin: Origin::Auto,
+        }
+    }
+
+    /// Mark the instance as manually instrumented (selective profiling).
+    pub fn manual(mut self) -> Self {
+        self.origin = Origin::Manual;
+        self
+    }
+
+    /// The `Array<System.Double>` / `List<T>`-style display name used in
+    /// Table V-style report rows.
+    pub fn display_type(&self) -> String {
+        format!("{}<{}>", self.kind.type_name(), self.elem_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_is_the_only_static_kind() {
+        for k in DsKind::ALL {
+            assert_eq!(k.is_dynamic(), k != DsKind::Array);
+        }
+    }
+
+    #[test]
+    fn linear_kinds() {
+        assert!(DsKind::List.is_linear());
+        assert!(DsKind::Array.is_linear());
+        assert!(DsKind::Deque.is_linear());
+        assert!(!DsKind::Dictionary.is_linear());
+        assert!(!DsKind::HashSet.is_linear());
+        assert!(!DsKind::SortedDictionary.is_linear());
+    }
+
+    #[test]
+    fn site_display_matches_table_v_style() {
+        let s = AllocationSite::new("GPdotNet.Engine.CHPopulation", ".ctor", 14);
+        assert_eq!(s.to_string(), "GPdotNet.Engine.CHPopulation..ctor:14");
+    }
+
+    #[test]
+    fn display_type_formats_generics() {
+        let info = InstanceInfo::new(
+            InstanceId(3),
+            AllocationSite::unknown(),
+            DsKind::Array,
+            "System.Double",
+        );
+        assert_eq!(info.display_type(), "Array<System.Double>");
+    }
+
+    #[test]
+    fn short_type_name_strips_paths() {
+        assert_eq!(short_type_name("alloc::string::String"), "String");
+        assert_eq!(
+            short_type_name("Vec<dsspy_workloads::programs::gpdotnet::Chromosome>"),
+            "Vec<Chromosome>"
+        );
+        assert_eq!(short_type_name("i64"), "i64");
+        assert_eq!(
+            short_type_name("std::collections::HashMap<alloc::string::String, u32>"),
+            "HashMap<String, u32>"
+        );
+        assert_eq!(short_type_name("[f64; 9]"), "[f64; 9]");
+    }
+
+    #[test]
+    fn type_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in DsKind::ALL {
+            assert!(seen.insert(k.type_name()));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! # dsspy-parallel — the parallel runtime behind the recommended actions
+//!
+//! DSspy's recommendations (paper §III-B) tell the engineer to *parallelize
+//! the insert operation*, *employ a parallel queue*, or *split the list into
+//! smaller chunks and search them in parallel*. The paper's evaluation
+//! executes those transformations with .NET's Task Parallel Library; this
+//! crate is our equivalent substrate, built from scratch on scoped threads
+//! and crossbeam so the reproduction does not lean on an external
+//! data-parallelism framework:
+//!
+//! * [`ops`] — chunked `par_map` / `par_for_init` / `par_fill` over slices
+//!   (the Long-Insert and array-initialization actions);
+//! * [`search`] — parallel `find_first` (early exit), `find_all`,
+//!   `max_by_key` (the Frequent-Search / Frequent-Long-Read actions, incl.
+//!   the priority-queue-on-a-list search of the paper's Algorithmia case);
+//! * [`sort`] — parallel merge sort (the Sort-After-Insert action);
+//! * [`queue`] — a blocking MPMC queue (the Implement-Queue action);
+//! * [`pool`] — a plain worker thread pool for fire-and-forget jobs.
+//!
+//! All entry points take an explicit thread count so benches can sweep it;
+//! [`default_threads`] mirrors the machine's available parallelism (the
+//! paper used an 8-core AMD FX 8120).
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod pipeline;
+pub mod pool;
+pub mod queue;
+pub mod scan;
+pub mod search;
+pub mod sort;
+
+pub use ops::{par_fill, par_fold, par_for_init, par_map};
+pub use pipeline::{pipeline3, produce_consume};
+pub use pool::ThreadPool;
+pub use queue::BlockingQueue;
+pub use scan::{par_prefix_scan, par_prefix_sum, par_prefix_sum_exact};
+pub use search::{par_find_all, par_find_first, par_max_by_key};
+pub use sort::{par_merge_sort, par_merge_sort_by_key};
+
+/// The number of worker threads to use when the caller does not care:
+/// the machine's available parallelism, with a fallback of 4.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Split `len` items into at most `threads` contiguous chunk ranges of
+/// near-equal size. Returns `(start, end)` pairs covering `0..len` exactly.
+pub fn chunk_ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    if len == 0 || threads == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(len);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101, 1024] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, threads);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= threads);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                // Near-equal: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|(a, b)| b - a).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "len={len} threads={threads}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_yields_no_ranges() {
+        assert!(chunk_ranges(10, 0).is_empty());
+    }
+}

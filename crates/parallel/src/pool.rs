@@ -1,0 +1,154 @@
+//! A plain worker thread pool for fire-and-forget jobs.
+//!
+//! The scoped primitives in [`crate::ops`] cover the data-parallel
+//! recommendations; the pool covers task-parallel workloads (e.g. the
+//! pipeline stages of the search workloads) where jobs are `'static` and
+//! completion is awaited collectively via [`ThreadPool::wait_idle`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing boxed jobs FIFO.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dsspy-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _g = shared.idle_lock.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            sender: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job for execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers alive while pool not dropped");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel terminates the workers after the queue drains.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop without wait_idle: the channel close lets workers finish
+            // whatever is queued before exiting.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(7, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parallel prefix scan (inclusive).
+//!
+//! The roulette-wheel selection the gpdotnet workload rebuilds every
+//! generation is a prefix sum over fitness values; when the recommendation
+//! says "parallelize the insert" for that cumulative structure, this is the
+//! kernel that does it: per-chunk local scans, an offset pass over the
+//! chunk totals, then a parallel fix-up.
+
+use crate::chunk_ranges;
+
+/// Inclusive prefix scan with an associative `combine`, in place.
+///
+/// After the call, `data[i] = data[0] ⊕ data[1] ⊕ ... ⊕ data[i]`.
+/// `combine` must be associative for the chunked execution to agree with
+/// the sequential one; floating-point addition is only approximately so —
+/// use [`par_prefix_sum_exact`] when bit-equality with a sequential fold
+/// matters.
+pub fn par_prefix_scan<T: Send + Clone>(
+    data: &mut [T],
+    threads: usize,
+    combine: impl Fn(&T, &T) -> T + Sync,
+) {
+    let len = data.len();
+    let ranges = chunk_ranges(len, threads);
+    if ranges.len() <= 1 {
+        for i in 1..len {
+            data[i] = combine(&data[i - 1], &data[i]);
+        }
+        return;
+    }
+
+    // Phase 1: local scans per chunk, in parallel.
+    std::thread::scope(|s| {
+        let mut rest = &mut *data;
+        for &(a, b) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(b - a);
+            rest = tail;
+            let combine = &combine;
+            s.spawn(move || {
+                for i in 1..chunk.len() {
+                    chunk[i] = combine(&chunk[i - 1], &chunk[i]);
+                }
+            });
+        }
+    });
+
+    // Phase 2: scan the chunk totals sequentially (few of them).
+    let mut offsets: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    let mut acc: Option<T> = None;
+    for &(a, b) in &ranges {
+        offsets.push(acc.clone());
+        let chunk_total = data[b - 1].clone();
+        acc = Some(match acc {
+            Some(prev) => combine(&prev, &chunk_total),
+            None => chunk_total,
+        });
+        let _ = a;
+    }
+
+    // Phase 3: apply offsets to every chunk but the first, in parallel.
+    std::thread::scope(|s| {
+        let mut rest = &mut *data;
+        for (&(a, b), offset) in ranges.iter().zip(offsets) {
+            let (chunk, tail) = rest.split_at_mut(b - a);
+            rest = tail;
+            if let Some(off) = offset {
+                let combine = &combine;
+                s.spawn(move || {
+                    for v in chunk.iter_mut() {
+                        *v = combine(&off, v);
+                    }
+                });
+            }
+        }
+    });
+}
+
+/// Inclusive prefix sum for `u64`, bit-identical to the sequential fold
+/// (wrapping addition is associative).
+pub fn par_prefix_sum(data: &mut [u64], threads: usize) {
+    par_prefix_scan(data, threads, |a, b| a.wrapping_add(*b));
+}
+
+/// Inclusive prefix sum for `f64` that *guarantees* the sequential result:
+/// the chunked scan is used to parallelize the heavy per-element `weight`
+/// evaluation, but the final accumulation is one sequential pass.
+///
+/// Returns the cumulative sums of `weight(item)` in item order.
+pub fn par_prefix_sum_exact<T: Sync>(
+    items: &[T],
+    threads: usize,
+    weight: impl Fn(&T) -> f64 + Sync,
+) -> Vec<f64> {
+    let weights = crate::ops::par_map(items, threads, &weight);
+    let mut out = Vec::with_capacity(items.len());
+    let mut acc = 0.0f64;
+    for w in weights {
+        acc += w;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let base: Vec<u64> = (0..10_001).map(|i| i * 3 + 1).collect();
+        let mut expect = base.clone();
+        for i in 1..expect.len() {
+            expect[i] = expect[i - 1].wrapping_add(expect[i]);
+        }
+        for threads in [1usize, 2, 3, 8] {
+            let mut got = base.clone();
+            par_prefix_sum(&mut got, threads);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<u64> = vec![];
+        par_prefix_sum(&mut empty, 4);
+        assert!(empty.is_empty());
+        let mut one = vec![42u64];
+        par_prefix_sum(&mut one, 4);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn generic_scan_with_max() {
+        let base: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let mut expect = base.clone();
+        for i in 1..expect.len() {
+            expect[i] = expect[i - 1].max(expect[i]);
+        }
+        let mut got = base;
+        par_prefix_scan(&mut got, 4, |a, b| (*a).max(*b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exact_float_prefix_matches_sequential_fold() {
+        let items: Vec<f64> = (0..5_000).map(|i| (f64::from(i) * 0.37).sin()).collect();
+        let mut expect = Vec::with_capacity(items.len());
+        let mut acc = 0.0f64;
+        for v in &items {
+            acc += v.abs();
+            expect.push(acc);
+        }
+        for threads in [1usize, 3, 8] {
+            let got = par_prefix_sum_exact(&items, threads, |v| v.abs());
+            assert_eq!(got, expect, "bit-identical, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn wrapping_behaviour_preserved() {
+        let mut data = vec![u64::MAX, 1, 1];
+        par_prefix_sum(&mut data, 2);
+        assert_eq!(data, vec![u64::MAX, 0, 1]);
+    }
+}

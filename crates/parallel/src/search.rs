@@ -1,0 +1,224 @@
+//! Parallel search kernels — the Frequent-Search / Frequent-Long-Read
+//! recommended action: "parallelize the search operation in a way that
+//! splits the list into smaller chunks and search them in parallel"
+//! (paper §III-B).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::chunk_ranges;
+
+/// Find the index of the *first* element matching `pred`, searching chunks
+/// in parallel with cooperative early exit: once a worker finds a match, all
+/// workers at higher indices than the best-so-far stop scanning.
+///
+/// Returns the same index a sequential `iter().position(pred)` would.
+pub fn par_find_first<T: Sync>(
+    input: &[T],
+    threads: usize,
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Option<usize> {
+    let ranges = chunk_ranges(input.len(), threads);
+    if ranges.len() <= 1 {
+        return input.iter().position(pred);
+    }
+    // Best (smallest) match index found so far; MAX means "none".
+    let best = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|s| {
+        for &(a, b) in &ranges {
+            let pred = &pred;
+            let best = &best;
+            s.spawn(move || {
+                // A chunk whose start is already past the best match can
+                // never improve the answer.
+                if best.load(Ordering::Relaxed) <= a {
+                    return;
+                }
+                for (off, v) in input[a..b].iter().enumerate() {
+                    let i = a + off;
+                    // Periodic early-exit check to bound wasted work.
+                    if off % 1024 == 0 && best.load(Ordering::Relaxed) <= a {
+                        return;
+                    }
+                    if pred(v) {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    match best.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        i => Some(i),
+    }
+}
+
+/// Find the indices of *all* matching elements, in ascending order.
+pub fn par_find_all<T: Sync>(
+    input: &[T],
+    threads: usize,
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Vec<usize> {
+    let ranges = chunk_ranges(input.len(), threads);
+    if ranges.len() <= 1 {
+        return input
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred(v))
+            .map(|(i, _)| i)
+            .collect();
+    }
+    let mut parts: Vec<Vec<usize>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| {
+                let pred = &pred;
+                s.spawn(move || {
+                    input[a..b]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| pred(v))
+                        .map(|(off, _)| a + off)
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("par_find_all worker panicked"));
+        }
+    });
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p); // chunks are in ascending range order
+    }
+    out
+}
+
+/// Find the index of the element with the maximum key, chunked in parallel.
+///
+/// Ties resolve to the smallest index, exactly like a sequential scan that
+/// only replaces on a strictly greater key. This is the parallel form of the
+/// priority-queue-on-a-list search that yielded the paper's 2.30 speedup on
+/// Algorithmia (§V, use case two).
+pub fn par_max_by_key<T: Sync, K: Ord + Send>(
+    input: &[T],
+    threads: usize,
+    key: impl Fn(&T) -> K + Sync,
+) -> Option<usize> {
+    fn seq_max<T, K: Ord>(slice: &[T], base: usize, key: impl Fn(&T) -> K) -> Option<(usize, K)> {
+        let mut best: Option<(usize, K)> = None;
+        for (off, v) in slice.iter().enumerate() {
+            let k = key(v);
+            match &best {
+                Some((_, bk)) if *bk >= k => {}
+                _ => best = Some((base + off, k)),
+            }
+        }
+        best
+    }
+
+    let ranges = chunk_ranges(input.len(), threads);
+    if ranges.len() <= 1 {
+        return seq_max(input, 0, key).map(|(i, _)| i);
+    }
+    let mut parts: Vec<Option<(usize, K)>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| {
+                let key = &key;
+                s.spawn(move || seq_max(&input[a..b], a, key))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("par_max_by_key worker panicked"));
+        }
+    });
+    let mut best: Option<(usize, K)> = None;
+    for p in parts.into_iter().flatten() {
+        match &best {
+            // Chunks come in index order, so >= keeps the earliest index.
+            Some((_, bk)) if *bk >= p.1 => {}
+            _ => best = Some(p),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_first_matches_sequential() {
+        let input: Vec<i64> = (0..100_000).map(|i| (i * 7919) % 1000).collect();
+        for needle in [0i64, 500, 999] {
+            let expect = input.iter().position(|v| *v == needle);
+            for threads in [1, 2, 8] {
+                assert_eq!(par_find_first(&input, threads, |v| *v == needle), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn find_first_no_match() {
+        let input: Vec<i32> = (0..10_000).collect();
+        assert_eq!(par_find_first(&input, 8, |v| *v < 0), None);
+    }
+
+    #[test]
+    fn find_first_returns_smallest_index_among_duplicates() {
+        let mut input = vec![0u8; 50_000];
+        input[123] = 1;
+        input[40_000] = 1;
+        assert_eq!(par_find_first(&input, 8, |v| *v == 1), Some(123));
+    }
+
+    #[test]
+    fn find_first_on_empty() {
+        let input: Vec<i32> = vec![];
+        assert_eq!(par_find_first(&input, 8, |_| true), None);
+    }
+
+    #[test]
+    fn find_all_matches_sequential() {
+        let input: Vec<u32> = (0..50_000).collect();
+        let expect: Vec<usize> = input
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v % 97 == 0)
+            .map(|(i, _)| i)
+            .collect();
+        for threads in [1, 3, 8] {
+            assert_eq!(par_find_all(&input, threads, |v| *v % 97 == 0), expect);
+        }
+    }
+
+    #[test]
+    fn max_by_key_matches_sequential_with_ties() {
+        // Many ties: the earliest max index must win, as in a sequential
+        // strictly-greater scan.
+        let input: Vec<u32> = (0..10_000).map(|i| (i * 31) % 100).collect();
+        let seq = {
+            let mut best: Option<(usize, u32)> = None;
+            for (i, v) in input.iter().enumerate() {
+                match best {
+                    Some((_, bv)) if bv >= *v => {}
+                    _ => best = Some((i, *v)),
+                }
+            }
+            best.map(|(i, _)| i)
+        };
+        for threads in [1, 2, 5, 8] {
+            assert_eq!(par_max_by_key(&input, threads, |v| *v), seq);
+        }
+    }
+
+    #[test]
+    fn max_by_key_on_empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert_eq!(par_max_by_key(&empty, 8, |v| *v), None);
+        assert_eq!(par_max_by_key(&[42], 8, |v| *v), Some(0));
+    }
+}

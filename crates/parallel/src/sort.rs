@@ -1,0 +1,199 @@
+//! Parallel merge sort — the Sort-After-Insert recommended action.
+//!
+//! When a sort follows a long insertion phase, insertion order is irrelevant
+//! (paper §III-B, SAI): the insert can be parallelized and the sort itself
+//! can run in parallel. This module provides a chunked merge sort: each
+//! worker sorts a contiguous chunk with the (pattern-defeating, O(n log n))
+//! std unstable sort, then chunks are merged pairwise in parallel rounds.
+
+use crate::chunk_ranges;
+
+/// Sort `data` ascending using up to `threads` workers.
+///
+/// Produces exactly the same result as `data.sort_unstable()`; equal
+/// elements may be reordered (unstable), which matches the paper's setting
+/// where order after a bulk insert is explicitly irrelevant.
+pub fn par_merge_sort<T: Ord + Send + Clone>(data: &mut [T], threads: usize) {
+    par_merge_sort_by_key(data, threads, |v| v.clone());
+}
+
+/// Sort by a key function, ascending.
+pub fn par_merge_sort_by_key<T: Send, K: Ord>(
+    data: &mut [T],
+    threads: usize,
+    key: impl Fn(&T) -> K + Sync,
+) {
+    let len = data.len();
+    let ranges = chunk_ranges(len, threads);
+    if ranges.len() <= 1 {
+        data.sort_unstable_by_key(|a| key(a));
+        return;
+    }
+
+    // Phase 1: sort each chunk in parallel.
+    std::thread::scope(|s| {
+        let mut rest = &mut *data;
+        for &(a, b) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(b - a);
+            rest = tail;
+            let key = &key;
+            s.spawn(move || chunk.sort_unstable_by_key(|a| key(a)));
+        }
+    });
+
+    // Phase 2: merge sorted runs pairwise until one run remains. Each round
+    // merges adjacent run pairs concurrently.
+    let mut bounds: Vec<usize> = ranges.iter().map(|&(a, _)| a).collect();
+    bounds.push(len);
+    while bounds.len() > 2 {
+        let mut next_bounds = Vec::with_capacity(bounds.len() / 2 + 1);
+        std::thread::scope(|s| {
+            let mut rest = &mut *data;
+            let mut consumed = 0usize;
+            let mut i = 0;
+            while i + 1 < bounds.len() {
+                let lo = bounds[i];
+                let mid = bounds[i + 1];
+                let hi = if i + 2 < bounds.len() {
+                    bounds[i + 2]
+                } else {
+                    mid
+                };
+                let (region, tail) = rest.split_at_mut(hi - consumed);
+                rest = tail;
+                consumed = hi;
+                next_bounds.push(lo);
+                if hi > mid {
+                    let split = mid - lo;
+                    let key = &key;
+                    s.spawn(move || merge_in_place(region, split, key));
+                    i += 2;
+                } else {
+                    // Odd run out: carried to the next round unmerged.
+                    i += 1;
+                }
+            }
+        });
+        next_bounds.push(len);
+        bounds = next_bounds;
+    }
+}
+
+/// Merge the two sorted halves `[0, split)` and `[split, len)` of `region`.
+fn merge_in_place<T, K: Ord>(region: &mut [T], split: usize, key: &impl Fn(&T) -> K) {
+    // Out-of-place merge through an index permutation to avoid requiring
+    // T: Clone/Default. We compute the merged order of indices, then apply
+    // the permutation with swaps (cycle decomposition).
+    let len = region.len();
+    let mut order = Vec::with_capacity(len);
+    let (mut i, mut j) = (0usize, split);
+    while i < split && j < len {
+        if key(&region[i]) <= key(&region[j]) {
+            order.push(i);
+            i += 1;
+        } else {
+            order.push(j);
+            j += 1;
+        }
+    }
+    order.extend(i..split);
+    order.extend(j..len);
+
+    // Apply permutation: position p should receive element order[p].
+    let mut visited = vec![false; len];
+    for start in 0..len {
+        if visited[start] || order[start] == start {
+            visited[start] = true;
+            continue;
+        }
+        // Walk the cycle.
+        let mut pos = start;
+        loop {
+            visited[pos] = true;
+            let src = order[pos];
+            if src == start {
+                break;
+            }
+            region.swap(pos, src);
+            // After the swap, the element originally wanted from `src` now
+            // sits at `pos`... the standard trick: follow where the element
+            // that was at `pos` must go. We instead walk by repeatedly
+            // swapping `pos` with `order[pos]` until the cycle closes.
+            pos = src;
+            if visited[pos] {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(mut x: u64) -> impl FnMut() -> u64 {
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    #[test]
+    fn sorts_like_std() {
+        let mut rng = xorshift(0x9E3779B97F4A7C15);
+        for len in [0usize, 1, 2, 10, 1000, 4097, 65_536] {
+            let data: Vec<u64> = (0..len).map(|_| rng() % 10_000).collect();
+            for threads in [1usize, 2, 3, 8] {
+                let mut a = data.clone();
+                let mut b = data.clone();
+                par_merge_sort(&mut a, threads);
+                b.sort_unstable();
+                assert_eq!(a, b, "len={len} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_by_key_descending_trick() {
+        let mut data: Vec<i64> = (0..10_000).map(|i| (i * 31) % 1000).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable_by_key(|v| std::cmp::Reverse(*v));
+        par_merge_sort_by_key(&mut data, 8, |v| std::cmp::Reverse(*v));
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let mut asc: Vec<u32> = (0..10_000).collect();
+        let expect = asc.clone();
+        par_merge_sort(&mut asc, 8);
+        assert_eq!(asc, expect);
+
+        let mut desc: Vec<u32> = (0..10_000).rev().collect();
+        par_merge_sort(&mut desc, 8);
+        assert_eq!(desc, expect);
+    }
+
+    #[test]
+    fn all_equal_elements() {
+        let mut data = vec![7u8; 5000];
+        par_merge_sort(&mut data, 8);
+        assert!(data.iter().all(|v| *v == 7));
+        assert_eq!(data.len(), 5000);
+    }
+
+    #[test]
+    fn odd_thread_counts() {
+        let mut rng = xorshift(42);
+        let data: Vec<u64> = (0..9_999).map(|_| rng()).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [3usize, 5, 7, 13] {
+            let mut a = data.clone();
+            par_merge_sort(&mut a, threads);
+            assert_eq!(a, expect, "threads={threads}");
+        }
+    }
+}

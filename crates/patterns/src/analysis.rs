@@ -1,0 +1,554 @@
+//! Profile analysis: pattern instances plus the derived metrics the
+//! use-case classifier needs.
+//!
+//! The five parallel use cases and three sequential use cases of §III-B are
+//! defined over aggregates of a profile — "insertion phases take > 30 % of
+//! runtime", "> 60 % of accesses affect two different ends", "the profile
+//! ends with writes that are never read" — rather than over single pattern
+//! instances. [`analyze`] computes all of those aggregates once, in a single
+//! pass over the mined patterns and the raw events.
+
+use dsspy_events::{AccessClass, AccessKind, RuntimeProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::kind::PatternKind;
+use crate::run::{mine_patterns, MinerConfig, PatternInstance};
+use crate::threads::{thread_profile, ThreadProfile};
+
+/// Everything the classifier needs to know about one profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProfileAnalysis {
+    /// The mined pattern instances, ordered by start time.
+    pub patterns: Vec<PatternInstance>,
+    /// Derived aggregates.
+    pub metrics: Metrics,
+    /// Thread-interaction facts (§IV's multithreaded awareness).
+    pub threads: ThreadProfile,
+}
+
+/// Derived aggregates over one profile. Field names follow the use-case
+/// definitions they feed (§III-B).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total events in the profile.
+    pub total_events: usize,
+    /// Events per access kind, indexed by discriminant.
+    pub by_kind: [usize; 11],
+    /// Read-class event count (Read, Search, Copy, ForAll).
+    pub reads: usize,
+    /// Write-class event count.
+    pub writes: usize,
+    /// Largest structure length observed.
+    pub max_struct_len: u32,
+    /// Profile wall-clock duration, nanoseconds.
+    pub duration_nanos: u64,
+
+    /// Fraction of profile runtime spent inside insertion patterns
+    /// (Long-Insert: "> 30 % of runtime"). Falls back to the event-count
+    /// share when the profile has zero wall-clock extent (trace profiles).
+    pub insert_phase_share: f64,
+    /// Length (events) of the longest insertion pattern
+    /// (Long-Insert: "at least 100 consecutive access events").
+    pub longest_insert_run: usize,
+    /// Number of insertion pattern instances.
+    pub insert_pattern_count: usize,
+
+    /// Number of explicit search operations — `Search` events
+    /// (Frequent-Search: "> 1000 search operations").
+    pub search_ops: usize,
+    /// Fraction of all events that sit inside Read-Forward/Read-Backward
+    /// patterns (Frequent-Search: "at least 2 % of all access events").
+    pub read_pattern_event_share: f64,
+
+    /// Number of sequential read pattern instances
+    /// (Frequent-Long-Read: "> 10 sequential read patterns").
+    pub read_pattern_count: usize,
+    /// Of those, how many covered ≥ the configured fraction of the
+    /// structure (FLR: "each pattern has to read at least 50 %").
+    pub long_read_pattern_count: usize,
+    /// Fraction of events whose access type is Read or Search
+    /// (FLR: "50 % of all access types have to be Read or Search").
+    pub read_or_search_share: f64,
+
+    /// Fraction of positional events that touched the front (index 0).
+    pub front_share: f64,
+    /// Fraction of positional events that touched the back (last position).
+    pub back_share: f64,
+    /// Whether mutations that *grow* the structure concentrate on one end
+    /// and mutations that *shrink* it concentrate on the other
+    /// (Implement-Queue's "two different ends").
+    pub two_ended: bool,
+    /// Whether all inserts and deletes share a common end
+    /// (Stack-Implementation).
+    pub common_end: bool,
+    /// Insert-class positional events (grows).
+    pub insert_ops: usize,
+    /// Delete-class positional events (shrinks).
+    pub delete_ops: usize,
+
+    /// `Sort` events that occur *after* an insertion pattern ended
+    /// (Sort-After-Insert).
+    pub sorts_after_insert: usize,
+    /// Total `Sort` events.
+    pub sort_ops: usize,
+
+    /// Number of `Resize` events (arrays only; Insert/Delete-Front).
+    pub resize_ops: usize,
+    /// Number of alternations between insert and delete operations —
+    /// high alternation on an array is the IDF signature.
+    pub insert_delete_alternations: usize,
+
+    /// Number of trailing write-class events at the very end of the profile
+    /// that are never followed by any read-class event (Write-Without-Read).
+    pub trailing_unread_writes: usize,
+}
+
+/// Mine patterns and compute the derived metrics for one profile.
+pub fn analyze(profile: &RuntimeProfile, config: &MinerConfig) -> ProfileAnalysis {
+    let patterns = mine_patterns(profile, config);
+    let metrics = compute_metrics(profile, &patterns);
+    let threads = thread_profile(profile);
+    ProfileAnalysis {
+        patterns,
+        metrics,
+        threads,
+    }
+}
+
+/// FLR's per-pattern coverage requirement: "read at least 50 % of the data
+/// structure".
+pub const LONG_READ_COVERAGE: f64 = 0.5;
+
+fn compute_metrics(profile: &RuntimeProfile, patterns: &[PatternInstance]) -> Metrics {
+    let mut m = Metrics {
+        total_events: profile.len(),
+        duration_nanos: profile.duration_nanos(),
+        ..Metrics::default()
+    };
+
+    // --- raw event aggregates -------------------------------------------
+    let mut read_or_search = 0usize;
+    let mut positional = 0usize;
+    let mut front = 0usize;
+    let mut back = 0usize;
+    let mut insert_front = 0usize;
+    let mut insert_back = 0usize;
+    let mut delete_front = 0usize;
+    let mut delete_back = 0usize;
+    let mut last_mut_was_insert: Option<bool> = None;
+
+    for e in &profile.events {
+        m.by_kind[e.kind as usize] += 1;
+        match e.class() {
+            AccessClass::Read => m.reads += 1,
+            AccessClass::Write => m.writes += 1,
+        }
+        m.max_struct_len = m.max_struct_len.max(e.len);
+        if matches!(e.kind, AccessKind::Read | AccessKind::Search) {
+            read_or_search += 1;
+        }
+        match e.kind {
+            AccessKind::Insert => {
+                m.insert_ops += 1;
+                if last_mut_was_insert == Some(false) {
+                    m.insert_delete_alternations += 1;
+                }
+                last_mut_was_insert = Some(true);
+            }
+            AccessKind::Delete => {
+                m.delete_ops += 1;
+                if last_mut_was_insert == Some(true) {
+                    m.insert_delete_alternations += 1;
+                }
+                last_mut_was_insert = Some(false);
+            }
+            AccessKind::Resize => m.resize_ops += 1,
+            AccessKind::Sort => m.sort_ops += 1,
+            AccessKind::Search => m.search_ops += 1,
+            _ => {}
+        }
+        if e.kind.is_positional() {
+            if let Some(i) = e.index() {
+                positional += 1;
+                // "Front" is index 0. "Back" is the last position, whose
+                // encoding depends on the operation: appends have
+                // i == len - 1, back-deletes have i == len (post-shrink).
+                let at_front = i == 0;
+                let at_back = match e.kind {
+                    AccessKind::Delete => i == e.len,
+                    _ => e.len > 0 && i == e.len - 1,
+                };
+                if at_front {
+                    front += 1;
+                }
+                if at_back {
+                    back += 1;
+                }
+                match e.kind {
+                    AccessKind::Insert => {
+                        if at_front && !at_back {
+                            insert_front += 1;
+                        } else if at_back {
+                            insert_back += 1;
+                        }
+                    }
+                    AccessKind::Delete => {
+                        if at_front && !at_back {
+                            delete_front += 1;
+                        } else if at_back {
+                            delete_back += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if m.total_events > 0 {
+        m.read_or_search_share = read_or_search as f64 / m.total_events as f64;
+    }
+    if positional > 0 {
+        m.front_share = front as f64 / positional as f64;
+        m.back_share = back as f64 / positional as f64;
+    }
+
+    // Two-different-ends: growth concentrates on one end, shrink (or reads)
+    // on the other. Compare dominant insert end vs dominant delete end.
+    if m.insert_ops >= 1 && m.delete_ops >= 1 {
+        let ins_front_dominant = insert_front > insert_back;
+        let del_front_dominant = delete_front > delete_back;
+        let ins_decided = insert_front != insert_back;
+        let del_decided = delete_front != delete_back;
+        if ins_decided && del_decided {
+            m.two_ended = ins_front_dominant != del_front_dominant;
+            m.common_end = ins_front_dominant == del_front_dominant;
+        } else if !ins_decided && !del_decided && m.insert_ops + m.delete_ops > 0 {
+            // Degenerate single-element churn: treat as common end.
+            m.common_end = insert_front + delete_front > 0;
+        }
+        // Strictness for SI: *always* a common end means no stray
+        // middle/other-end mutations at all.
+        let stray_inserts = m.insert_ops - insert_front - insert_back;
+        let stray_deletes = m.delete_ops - delete_front - delete_back;
+        if stray_inserts > 0 || stray_deletes > 0 {
+            m.common_end = false;
+        }
+    }
+
+    // --- pattern-level aggregates ----------------------------------------
+    let mut insert_runtime: u64 = 0;
+    let mut insert_events: usize = 0;
+    let mut events_in_read_patterns: usize = 0;
+    let mut last_insert_end: Option<u64> = None;
+    for p in patterns {
+        if p.kind.is_insert() {
+            m.insert_pattern_count += 1;
+            m.longest_insert_run = m.longest_insert_run.max(p.len);
+            insert_runtime += p.duration_nanos();
+            insert_events += p.len;
+            last_insert_end = Some(last_insert_end.map_or(p.last_seq, |s: u64| s.max(p.last_seq)));
+        }
+        if p.kind.is_read() {
+            m.read_pattern_count += 1;
+            events_in_read_patterns += p.len;
+            if p.coverage() >= LONG_READ_COVERAGE {
+                m.long_read_pattern_count += 1;
+            }
+        }
+    }
+    if m.total_events > 0 {
+        m.read_pattern_event_share = events_in_read_patterns as f64 / m.total_events as f64;
+    }
+    m.insert_phase_share = if m.duration_nanos > 0 {
+        (insert_runtime as f64 / m.duration_nanos as f64).min(1.0)
+    } else if m.total_events > 0 {
+        insert_events as f64 / m.total_events as f64
+    } else {
+        0.0
+    };
+
+    // Sort-After-Insert: a Sort event whose seq is after the end of some
+    // insertion pattern.
+    if m.sort_ops > 0 {
+        if let Some(ins_end) = patterns
+            .iter()
+            .filter(|p| p.kind.is_insert())
+            .map(|p| p.last_seq)
+            .min()
+        {
+            m.sorts_after_insert = profile
+                .events
+                .iter()
+                .filter(|e| e.kind == AccessKind::Sort && e.seq > ins_end)
+                .count();
+        }
+    }
+
+    // Write-Without-Read: count the trailing run of explicit element
+    // overwrites ("all entries might be set to NULL", §III-B). Deletes and
+    // whole-structure maintenance (Clear) are transparent — a structure
+    // drained or cleared at end of life is normal teardown, not WWR.
+    let mut trailing = 0usize;
+    for e in profile.events.iter().rev() {
+        match e.kind {
+            AccessKind::Write => trailing += 1,
+            AccessKind::Clear | AccessKind::Delete => continue, // transparent
+            _ => break,
+        }
+    }
+    m.trailing_unread_writes = trailing;
+
+    m
+}
+
+impl Metrics {
+    /// Count of events of one kind.
+    pub fn count(&self, kind: AccessKind) -> usize {
+        self.by_kind[kind as usize]
+    }
+
+    /// Fraction of positional traffic on the two ends combined
+    /// (Implement-Queue: "> 60 % in sum ... two different ends").
+    pub fn end_traffic_share(&self) -> f64 {
+        (self.front_share + self.back_share).min(1.0)
+    }
+}
+
+impl ProfileAnalysis {
+    /// Pattern instances of one kind.
+    pub fn of_kind(&self, kind: PatternKind) -> impl Iterator<Item = &PatternInstance> {
+        self.patterns.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Histogram of pattern instances per kind.
+    pub fn pattern_histogram(&self) -> [(PatternKind, usize); 8] {
+        let mut out = PatternKind::ALL.map(|k| (k, 0usize));
+        for p in &self.patterns {
+            let slot = out
+                .iter_mut()
+                .find(|(k, _)| *k == p.kind)
+                .expect("all kinds present");
+            slot.1 += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessEvent, AllocationSite, DsKind, InstanceId, InstanceInfo, Target};
+
+    fn profile(events: Vec<AccessEvent>) -> RuntimeProfile {
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("T", "m", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    fn run(events: Vec<AccessEvent>) -> ProfileAnalysis {
+        analyze(&profile(events), &MinerConfig::default())
+    }
+
+    /// Append i..n, then scan forward once.
+    fn fill_then_scan(n: u32) -> Vec<AccessEvent> {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..n {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
+            seq += 1;
+        }
+        for i in 0..n {
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, n));
+            seq += 1;
+        }
+        events
+    }
+
+    #[test]
+    fn fill_then_scan_metrics() {
+        let a = run(fill_then_scan(100));
+        assert_eq!(a.patterns.len(), 2);
+        assert_eq!(a.metrics.longest_insert_run, 100);
+        assert_eq!(a.metrics.insert_pattern_count, 1);
+        assert_eq!(a.metrics.read_pattern_count, 1);
+        assert_eq!(a.metrics.long_read_pattern_count, 1);
+        // Half the events are inserts; trace profiles use seq as nanos so
+        // the runtime share is ~0.5.
+        assert!((a.metrics.insert_phase_share - 0.5).abs() < 0.02);
+        assert!((a.metrics.read_or_search_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_shape_is_two_ended() {
+        // Enqueue at back, dequeue at front, interleaved.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        let mut len = 0u32;
+        for _ in 0..50 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, len, len + 1));
+            len += 1;
+            seq += 1;
+            events.push(AccessEvent::at(seq, AccessKind::Insert, len, len + 1));
+            len += 1;
+            seq += 1;
+            len -= 1;
+            events.push(AccessEvent::at(seq, AccessKind::Delete, 0, len));
+            seq += 1;
+        }
+        let a = run(events);
+        assert!(a.metrics.two_ended, "queue usage must be two-ended");
+        assert!(!a.metrics.common_end);
+        assert!(a.metrics.end_traffic_share() > 0.6);
+    }
+
+    #[test]
+    fn stack_shape_is_common_end() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        let mut len = 0u32;
+        for _ in 0..30 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, len, len + 1));
+            len += 1;
+            seq += 1;
+            events.push(AccessEvent::at(seq, AccessKind::Insert, len, len + 1));
+            len += 1;
+            seq += 1;
+            len -= 1;
+            events.push(AccessEvent::at(seq, AccessKind::Delete, len, len));
+            seq += 1;
+        }
+        let a = run(events);
+        assert!(a.metrics.common_end, "stack usage shares one end");
+        assert!(!a.metrics.two_ended);
+    }
+
+    #[test]
+    fn sort_after_insert_detected() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..150u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
+            seq += 1;
+        }
+        events.push(AccessEvent::whole(seq, AccessKind::Sort, 150));
+        let a = run(events);
+        assert_eq!(a.metrics.sorts_after_insert, 1);
+        assert_eq!(a.metrics.sort_ops, 1);
+    }
+
+    #[test]
+    fn sort_before_insert_not_counted() {
+        let mut events = vec![AccessEvent::whole(0, AccessKind::Sort, 0)];
+        let mut seq = 1u64;
+        for i in 0..150u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
+            seq += 1;
+        }
+        let a = run(events);
+        assert_eq!(a.metrics.sorts_after_insert, 0);
+        assert_eq!(a.metrics.sort_ops, 1);
+    }
+
+    #[test]
+    fn trailing_writes_counted() {
+        let mut events = fill_then_scan(10);
+        let seq0 = events.last().unwrap().seq + 1;
+        // Null out all entries at end of life — never read again.
+        for i in 0..10u32 {
+            events.push(AccessEvent::at(
+                seq0 + u64::from(i),
+                AccessKind::Write,
+                i,
+                10,
+            ));
+        }
+        let a = run(events);
+        assert_eq!(a.metrics.trailing_unread_writes, 10);
+    }
+
+    #[test]
+    fn reads_at_end_clear_trailing_writes() {
+        let mut events = fill_then_scan(10);
+        let seq0 = events.last().unwrap().seq + 1;
+        for i in 0..10u32 {
+            events.push(AccessEvent::at(
+                seq0 + u64::from(i),
+                AccessKind::Write,
+                i,
+                10,
+            ));
+        }
+        events.push(AccessEvent::at(seq0 + 10, AccessKind::Read, 0, 10));
+        let a = run(events);
+        assert_eq!(a.metrics.trailing_unread_writes, 0);
+    }
+
+    #[test]
+    fn search_ops_counted() {
+        let mut events = Vec::new();
+        for i in 0..1200u64 {
+            events.push(AccessEvent {
+                seq: i,
+                nanos: i,
+                kind: AccessKind::Search,
+                target: Target::Range { start: 0, end: 50 },
+                len: 100,
+                thread: dsspy_events::ThreadTag::MAIN,
+            });
+        }
+        let a = run(events);
+        assert_eq!(a.metrics.search_ops, 1200);
+        assert!((a.metrics.read_or_search_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternation_counting() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        let mut len = 0u32;
+        // I D I D I D: five alternations.
+        for _ in 0..3 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, 0, len + 1));
+            len += 1;
+            seq += 1;
+            len -= 1;
+            events.push(AccessEvent::at(seq, AccessKind::Delete, 0, len));
+            seq += 1;
+        }
+        let a = run(events);
+        assert_eq!(a.metrics.insert_delete_alternations, 5);
+    }
+
+    #[test]
+    fn empty_profile_analysis() {
+        let a = run(vec![]);
+        assert!(a.patterns.is_empty());
+        assert_eq!(a.metrics.total_events, 0);
+        assert_eq!(a.metrics.insert_phase_share, 0.0);
+        assert!(!a.metrics.two_ended);
+    }
+
+    #[test]
+    fn histogram_counts_by_kind() {
+        let a = run(fill_then_scan(20));
+        let h = a.pattern_histogram();
+        let ib = h
+            .iter()
+            .find(|(k, _)| *k == PatternKind::InsertBack)
+            .unwrap();
+        let rf = h
+            .iter()
+            .find(|(k, _)| *k == PatternKind::ReadForward)
+            .unwrap();
+        assert_eq!(ib.1, 1);
+        assert_eq!(rf.1, 1);
+        assert_eq!(h.iter().map(|(_, n)| n).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Temporal phase segmentation and life-cycle structure.
+//!
+//! The use-case definitions of §III-B speak in terms of *phases*:
+//! "insertion phases (>30 % of runtime)", "a sort pattern follows an
+//! insertion pattern", "profiles often end with write patterns". This
+//! module makes phases first-class: it splits a profile's timeline into
+//! maximal stretches dominated by one kind of activity, and detects the
+//! cyclic structure (the fill–scan–clear loops of Fig. 3) that the paper's
+//! screenshots show.
+
+use dsspy_events::{AccessKind, RuntimeProfile};
+use serde::{Deserialize, Serialize};
+
+/// The dominant activity of a phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Insert-dominated: the structure is growing.
+    Growth,
+    /// Read/search-dominated: the structure is being consumed or scanned.
+    Scan,
+    /// Write/delete-dominated: in-place mutation or shrinking.
+    Mutation,
+    /// Compound-maintenance-dominated (sort, clear, copy, resize, ...).
+    Maintenance,
+    /// No class reaches the dominance threshold.
+    Mixed,
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PhaseKind::Growth => "growth",
+            PhaseKind::Scan => "scan",
+            PhaseKind::Mutation => "mutation",
+            PhaseKind::Maintenance => "maintenance",
+            PhaseKind::Mixed => "mixed",
+        })
+    }
+}
+
+/// One segmented phase of a profile's timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Dominant activity.
+    pub kind: PhaseKind,
+    /// Logical timestamp of the first event in the phase.
+    pub first_seq: u64,
+    /// Logical timestamp of the last event.
+    pub last_seq: u64,
+    /// Wall-clock offset of the first event, nanoseconds.
+    pub first_nanos: u64,
+    /// Wall-clock offset of the last event, nanoseconds.
+    pub last_nanos: u64,
+    /// Number of events in the phase.
+    pub events: usize,
+}
+
+impl Phase {
+    /// Wall-clock duration, nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.last_nanos.saturating_sub(self.first_nanos)
+    }
+}
+
+/// Tunables for the phase segmenter.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PhaseConfig {
+    /// Window size in events for the dominance vote.
+    pub window: usize,
+    /// Fraction a class must reach inside a window to claim it.
+    pub dominance: f64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            window: 32,
+            dominance: 0.6,
+        }
+    }
+}
+
+fn class_of(kind: AccessKind) -> PhaseKind {
+    match kind {
+        AccessKind::Insert => PhaseKind::Growth,
+        AccessKind::Read | AccessKind::Search | AccessKind::ForAll => PhaseKind::Scan,
+        AccessKind::Write | AccessKind::Delete => PhaseKind::Mutation,
+        AccessKind::Clear
+        | AccessKind::Sort
+        | AccessKind::Reverse
+        | AccessKind::Copy
+        | AccessKind::Resize => PhaseKind::Maintenance,
+    }
+}
+
+/// Segment a profile into phases.
+///
+/// The timeline is cut into `config.window`-event windows; each window votes
+/// for the class holding at least `config.dominance` of its events (`Mixed`
+/// otherwise), and adjacent windows with the same verdict merge into one
+/// phase. The tail window may be shorter.
+pub fn segment_phases(profile: &RuntimeProfile, config: &PhaseConfig) -> Vec<Phase> {
+    let window = config.window.max(1);
+    let mut out: Vec<Phase> = Vec::new();
+    for chunk in profile.events.chunks(window) {
+        let mut counts = [0usize; 5];
+        for e in chunk {
+            let idx = match class_of(e.kind) {
+                PhaseKind::Growth => 0,
+                PhaseKind::Scan => 1,
+                PhaseKind::Mutation => 2,
+                PhaseKind::Maintenance => 3,
+                PhaseKind::Mixed => 4,
+            };
+            counts[idx] += 1;
+        }
+        let (best_idx, best) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .expect("non-empty counts");
+        let kind = if *best as f64 >= config.dominance * chunk.len() as f64 {
+            match best_idx {
+                0 => PhaseKind::Growth,
+                1 => PhaseKind::Scan,
+                2 => PhaseKind::Mutation,
+                _ => PhaseKind::Maintenance,
+            }
+        } else {
+            PhaseKind::Mixed
+        };
+        let first = chunk.first().expect("non-empty chunk");
+        let last = chunk.last().expect("non-empty chunk");
+        match out.last_mut() {
+            Some(prev) if prev.kind == kind => {
+                prev.last_seq = last.seq;
+                prev.last_nanos = last.nanos;
+                prev.events += chunk.len();
+            }
+            _ => out.push(Phase {
+                kind,
+                first_seq: first.seq,
+                last_seq: last.seq,
+                first_nanos: first.nanos,
+                last_nanos: last.nanos,
+                events: chunk.len(),
+            }),
+        }
+    }
+    out
+}
+
+/// A repeating phase-kind cycle, e.g. `[Growth, Scan, Maintenance] × 6`
+/// for the paper's Fig. 3 profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cycle {
+    /// The repeating unit of phase kinds.
+    pub unit: Vec<PhaseKind>,
+    /// How many full repetitions occur.
+    pub repetitions: usize,
+}
+
+/// Detect the dominant cycle in a phase sequence: the shortest unit whose
+/// repetition covers the sequence (ignoring a partial trailing unit).
+/// Returns `None` when the sequence repeats nothing (fewer than 2 reps).
+pub fn detect_cycle(phases: &[Phase]) -> Option<Cycle> {
+    let kinds: Vec<PhaseKind> = phases.iter().map(|p| p.kind).collect();
+    let n = kinds.len();
+    if n < 2 {
+        return None;
+    }
+    for unit_len in 1..=n / 2 {
+        let unit = &kinds[..unit_len];
+        let mut reps = 1;
+        let mut ok = true;
+        let mut i = unit_len;
+        while i + unit_len <= n {
+            if &kinds[i..i + unit_len] != unit {
+                ok = false;
+                break;
+            }
+            reps += 1;
+            i += unit_len;
+        }
+        // A trailing partial unit is allowed if it is a prefix of the unit.
+        if ok && kinds[i..].iter().zip(unit).all(|(a, b)| a == b) && reps >= 2 {
+            return Some(Cycle {
+                unit: unit.to_vec(),
+                repetitions: reps,
+            });
+        }
+    }
+    None
+}
+
+/// Life-cycle summary: the paper's narrative phases of one instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Lifecycle {
+    /// Whether the profile starts with a growth phase (initialization).
+    pub initialized_by_growth: bool,
+    /// Whether the profile ends with mutation (the WWR smell territory).
+    pub ends_in_mutation: bool,
+    /// The detected cycle, if any.
+    pub cycle: Option<Cycle>,
+    /// All phases.
+    pub phases: Vec<Phase>,
+}
+
+/// Compute the life-cycle summary for a profile.
+pub fn lifecycle(profile: &RuntimeProfile, config: &PhaseConfig) -> Lifecycle {
+    let phases = segment_phases(profile, config);
+    Lifecycle {
+        initialized_by_growth: phases.first().is_some_and(|p| p.kind == PhaseKind::Growth),
+        ends_in_mutation: phases.last().is_some_and(|p| p.kind == PhaseKind::Mutation),
+        cycle: detect_cycle(&phases),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessEvent, AllocationSite, DsKind, InstanceId, InstanceInfo};
+
+    fn profile(events: Vec<AccessEvent>) -> RuntimeProfile {
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("T", "m", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    fn fill(events: &mut Vec<AccessEvent>, seq: &mut u64, kind: AccessKind, n: u32) {
+        for i in 0..n {
+            events.push(AccessEvent::at(*seq, kind, i, 100));
+            *seq += 1;
+        }
+    }
+
+    #[test]
+    fn fill_then_scan_segments_into_two_phases() {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        fill(&mut events, &mut seq, AccessKind::Insert, 128);
+        fill(&mut events, &mut seq, AccessKind::Read, 128);
+        let phases = segment_phases(&profile(events), &PhaseConfig::default());
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].kind, PhaseKind::Growth);
+        assert_eq!(phases[0].events, 128);
+        assert_eq!(phases[1].kind, PhaseKind::Scan);
+        assert_eq!(phases[1].events, 128);
+    }
+
+    #[test]
+    fn interleaved_traffic_is_mixed() {
+        let mut events = Vec::new();
+        for i in 0..128u64 {
+            let kind = if i % 2 == 0 {
+                AccessKind::Insert
+            } else {
+                AccessKind::Read
+            };
+            events.push(AccessEvent::at(i, kind, (i / 2) as u32, 100));
+        }
+        let phases = segment_phases(&profile(events), &PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].kind, PhaseKind::Mixed);
+    }
+
+    #[test]
+    fn cycles_detected_in_fill_scan_loops() {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for _ in 0..5 {
+            fill(&mut events, &mut seq, AccessKind::Insert, 64);
+            fill(&mut events, &mut seq, AccessKind::Read, 64);
+        }
+        let lc = lifecycle(&profile(events), &PhaseConfig::default());
+        assert!(lc.initialized_by_growth);
+        let cycle = lc.cycle.expect("cycle found");
+        assert_eq!(cycle.unit, vec![PhaseKind::Growth, PhaseKind::Scan]);
+        assert_eq!(cycle.repetitions, 5);
+    }
+
+    #[test]
+    fn no_cycle_in_one_shot_profiles() {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        fill(&mut events, &mut seq, AccessKind::Insert, 64);
+        fill(&mut events, &mut seq, AccessKind::Read, 256);
+        let lc = lifecycle(&profile(events), &PhaseConfig::default());
+        assert!(lc.cycle.is_none());
+    }
+
+    #[test]
+    fn cleanup_writes_end_in_mutation() {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        fill(&mut events, &mut seq, AccessKind::Insert, 64);
+        fill(&mut events, &mut seq, AccessKind::Read, 64);
+        fill(&mut events, &mut seq, AccessKind::Write, 64);
+        let lc = lifecycle(&profile(events), &PhaseConfig::default());
+        assert!(lc.ends_in_mutation);
+    }
+
+    #[test]
+    fn empty_profile_has_no_phases() {
+        let lc = lifecycle(&profile(vec![]), &PhaseConfig::default());
+        assert!(lc.phases.is_empty());
+        assert!(!lc.initialized_by_growth);
+        assert!(!lc.ends_in_mutation);
+        assert!(lc.cycle.is_none());
+    }
+
+    #[test]
+    fn phase_durations_cover_the_profile() {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        fill(&mut events, &mut seq, AccessKind::Insert, 100);
+        fill(&mut events, &mut seq, AccessKind::Read, 100);
+        let p = profile(events);
+        let phases = segment_phases(&p, &PhaseConfig::default());
+        let total: usize = phases.iter().map(|ph| ph.events).sum();
+        assert_eq!(total, p.len());
+        // Ordered and non-overlapping.
+        for w in phases.windows(2) {
+            assert!(w[0].last_seq < w[1].first_seq);
+        }
+    }
+
+    #[test]
+    fn maintenance_phase_from_compound_events() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        fill(&mut events, &mut seq, AccessKind::Insert, 32);
+        for _ in 0..32 {
+            events.push(AccessEvent::whole(seq, AccessKind::Sort, 100));
+            seq += 1;
+        }
+        let phases = segment_phases(&profile(events), &PhaseConfig::default());
+        assert_eq!(phases.last().unwrap().kind, PhaseKind::Maintenance);
+    }
+}

@@ -1,0 +1,163 @@
+//! Recurring-regularity classification (paper §III-A, Table II).
+//!
+//! The study's first manual pass marked each runtime profile as "contains
+//! regularity" or "contains no regularity" before classifying the patterns.
+//! DSspy automates that gate: a profile *contains recurring regularities*
+//! when some pattern kind repeats, or when a single pattern is substantial
+//! enough to be a phase of its own.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::ProfileAnalysis;
+use crate::kind::PatternKind;
+
+/// Thresholds for the regularity gate.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RegularityConfig {
+    /// A pattern kind occurring at least this many times counts as
+    /// *recurring*.
+    pub min_recurrences: usize,
+    /// A single pattern instance of at least this many events counts as a
+    /// regularity on its own (one long scan is a regularity even if it
+    /// happens once).
+    pub min_single_run: usize,
+}
+
+impl Default for RegularityConfig {
+    fn default() -> Self {
+        RegularityConfig {
+            min_recurrences: 2,
+            min_single_run: 20,
+        }
+    }
+}
+
+/// The outcome of the regularity gate for one profile.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegularityVerdict {
+    /// The profile shows recurring regularities; the recurring kinds are
+    /// listed (deduplicated, in [`PatternKind::ALL`] order).
+    Regular(Vec<PatternKind>),
+    /// No regularity found.
+    Irregular,
+}
+
+impl RegularityVerdict {
+    /// Whether the profile passed the gate.
+    pub fn is_regular(&self) -> bool {
+        matches!(self, RegularityVerdict::Regular(_))
+    }
+}
+
+/// Apply the regularity gate to an analyzed profile.
+pub fn regularity(analysis: &ProfileAnalysis, config: &RegularityConfig) -> RegularityVerdict {
+    let mut kinds = Vec::new();
+    for kind in PatternKind::ALL {
+        let instances: Vec<_> = analysis.of_kind(kind).collect();
+        let recurring = instances.len() >= config.min_recurrences;
+        let single_long = instances.iter().any(|p| p.len >= config.min_single_run);
+        if recurring || single_long {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        RegularityVerdict::Irregular
+    } else {
+        RegularityVerdict::Regular(kinds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::run::MinerConfig;
+    use dsspy_events::{
+        AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo, RuntimeProfile,
+    };
+
+    fn analysis_of(events: Vec<AccessEvent>) -> ProfileAnalysis {
+        let p = RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("T", "m", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        );
+        analyze(&p, &MinerConfig::default())
+    }
+
+    #[test]
+    fn repeated_scans_are_regular() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..3 {
+            for i in 0..10u32 {
+                events.push(AccessEvent::at(seq, AccessKind::Read, i, 10));
+                seq += 1;
+            }
+            // Break adjacency between scans with a non-adjacent read.
+            events.push(AccessEvent::at(seq, AccessKind::Read, 5, 10));
+            seq += 1;
+        }
+        let v = regularity(&analysis_of(events), &RegularityConfig::default());
+        match v {
+            RegularityVerdict::Regular(kinds) => {
+                assert!(kinds.contains(&PatternKind::ReadForward))
+            }
+            RegularityVerdict::Irregular => panic!("repeated scans must be regular"),
+        }
+    }
+
+    #[test]
+    fn one_long_scan_is_regular() {
+        let events: Vec<_> = (0..50)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32, 50))
+            .collect();
+        assert!(regularity(&analysis_of(events), &RegularityConfig::default()).is_regular());
+    }
+
+    #[test]
+    fn one_short_scan_is_irregular() {
+        let events: Vec<_> = (0..5)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32, 5))
+            .collect();
+        assert_eq!(
+            regularity(&analysis_of(events), &RegularityConfig::default()),
+            RegularityVerdict::Irregular
+        );
+    }
+
+    #[test]
+    fn random_access_is_irregular() {
+        let idxs = [9u32, 1, 7, 3, 0, 8, 2, 6, 4, 5];
+        let events: Vec<_> = idxs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| AccessEvent::at(s as u64, AccessKind::Read, i, 10))
+            .collect();
+        assert_eq!(
+            regularity(&analysis_of(events), &RegularityConfig::default()),
+            RegularityVerdict::Irregular
+        );
+    }
+
+    #[test]
+    fn custom_thresholds_respected() {
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32, 10))
+            .collect();
+        let lenient = RegularityConfig {
+            min_recurrences: 1,
+            min_single_run: 5,
+        };
+        assert!(regularity(&analysis_of(events.clone()), &lenient).is_regular());
+        let strict = RegularityConfig {
+            min_recurrences: 5,
+            min_single_run: 1000,
+        };
+        assert!(!regularity(&analysis_of(events), &strict).is_regular());
+    }
+}

@@ -1,0 +1,659 @@
+//! Run segmentation: locating maximal pattern instances in a profile.
+//!
+//! The miner untangles events by thread, then splits each per-thread stream
+//! into four *tracks* — reads, writes, inserts, deletes — before looking for
+//! monotone runs. Interleaved patterns of different kinds (the paper's
+//! Fig. 3 shows Insert-Back and Read-Forward overlapping in time) therefore
+//! do not break each other, while a positional discontinuity *within* a
+//! track ends the current run and starts a new one. This is what makes a
+//! cleared-and-refilled list show *repeated* Insert-Back phases instead of
+//! one long one.
+
+use dsspy_events::{AccessEvent, AccessKind, RuntimeProfile, ThreadTag};
+use serde::{Deserialize, Serialize};
+
+use crate::kind::PatternKind;
+
+/// Tunables for the pattern miner.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Minimum number of events for a run to count as a pattern instance.
+    /// The paper speaks of "adjacent" operations, i.e. more than one; the
+    /// default of 3 filters incidental two-step coincidences.
+    pub min_run_len: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig { min_run_len: 3 }
+    }
+}
+
+/// One located pattern instance: a maximal run of one pattern type.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternInstance {
+    /// Which of the eight pattern types this run is.
+    pub kind: PatternKind,
+    /// Thread whose events form the run.
+    pub thread: ThreadTag,
+    /// Logical timestamp of the first event.
+    pub first_seq: u64,
+    /// Logical timestamp of the last event.
+    pub last_seq: u64,
+    /// Wall-clock offset of the first event, nanoseconds.
+    pub first_nanos: u64,
+    /// Wall-clock offset of the last event, nanoseconds.
+    pub last_nanos: u64,
+    /// Number of events in the run.
+    pub len: usize,
+    /// Smallest index touched.
+    pub lo: u32,
+    /// Largest index touched.
+    pub hi: u32,
+    /// Largest structure length observed during the run.
+    pub max_struct_len: u32,
+}
+
+impl PatternInstance {
+    /// Fraction of the structure the run covered, in `[0, 1]`.
+    ///
+    /// Runs touch contiguous indices, so coverage is run length over the
+    /// largest structure length seen during the run. The Frequent-Long-Read
+    /// use case requires each read pattern to cover ≥ 50 % (§III-B).
+    pub fn coverage(&self) -> f64 {
+        if self.max_struct_len == 0 {
+            return 0.0;
+        }
+        (self.len as f64 / f64::from(self.max_struct_len)).min(1.0)
+    }
+
+    /// Wall-clock duration of the run, nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.last_nanos.saturating_sub(self.first_nanos)
+    }
+}
+
+/// Internal: which track an event belongs to.
+fn track_of(kind: AccessKind) -> Option<usize> {
+    match kind {
+        AccessKind::Read => Some(0),
+        AccessKind::Write => Some(1),
+        AccessKind::Insert => Some(2),
+        AccessKind::Delete => Some(3),
+        _ => None,
+    }
+}
+
+/// Direction state of a read/write run.
+#[derive(Clone, Copy, PartialEq)]
+enum Dir {
+    Unknown,
+    Forward,
+    Backward,
+}
+
+/// Accumulator for one in-progress run.
+struct RunAcc {
+    events: Vec<AccessEvent>,
+    dir: Dir,
+    // For insert/delete tracks: which end-classifications are still viable.
+    front_ok: bool,
+    back_ok: bool,
+}
+
+impl RunAcc {
+    fn new() -> RunAcc {
+        RunAcc {
+            events: Vec::new(),
+            dir: Dir::Unknown,
+            front_ok: true,
+            back_ok: true,
+        }
+    }
+
+    fn emit(
+        &mut self,
+        kind_for: impl Fn(&RunAcc) -> Option<PatternKind>,
+        min_len: usize,
+        out: &mut Vec<PatternInstance>,
+        thread: ThreadTag,
+    ) {
+        if self.events.len() >= min_len {
+            if let Some(kind) = kind_for(self) {
+                let first = self.events[0];
+                let last = *self.events.last().expect("non-empty run");
+                let mut lo = u32::MAX;
+                let mut hi = 0;
+                let mut max_len = 0;
+                for e in &self.events {
+                    if let Some(i) = e.index() {
+                        lo = lo.min(i);
+                        hi = hi.max(i);
+                    }
+                    max_len = max_len.max(e.len);
+                }
+                out.push(PatternInstance {
+                    kind,
+                    thread,
+                    first_seq: first.seq,
+                    last_seq: last.seq,
+                    first_nanos: first.nanos,
+                    last_nanos: last.nanos,
+                    len: self.events.len(),
+                    lo: if lo == u32::MAX { 0 } else { lo },
+                    hi,
+                    max_struct_len: max_len,
+                });
+            }
+        }
+        self.events.clear();
+        self.dir = Dir::Unknown;
+        self.front_ok = true;
+        self.back_ok = true;
+    }
+}
+
+/// Whether an insert event landed at the front of the structure.
+fn insert_at_front(e: &AccessEvent) -> bool {
+    e.index() == Some(0)
+}
+
+/// Whether an insert event was appended at the back. At insert time `len`
+/// is the *new* length, so an append has `index == len - 1`.
+fn insert_at_back(e: &AccessEvent) -> bool {
+    match e.index() {
+        Some(i) => e.len > 0 && i == e.len - 1,
+        None => false,
+    }
+}
+
+/// Whether a delete event removed the front element.
+fn delete_at_front(e: &AccessEvent) -> bool {
+    e.index() == Some(0)
+}
+
+/// Whether a delete event removed the back element. At delete time `len` is
+/// the *new* (shrunk) length, so a back-removal has `index == len`.
+fn delete_at_back(e: &AccessEvent) -> bool {
+    e.index() == Some(e.len)
+}
+
+/// Mine all pattern instances from one profile.
+///
+/// Returns instances ordered by `first_seq`.
+pub fn mine_patterns(profile: &RuntimeProfile, config: &MinerConfig) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    let min_len = config.min_run_len.max(2);
+    for thread in profile.threads() {
+        let events = profile.thread_slice(thread);
+        mine_thread(&events, thread, min_len, &mut out);
+    }
+    out.sort_by_key(|p| p.first_seq);
+    out
+}
+
+fn mine_thread(
+    events: &[AccessEvent],
+    thread: ThreadTag,
+    min_len: usize,
+    out: &mut Vec<PatternInstance>,
+) {
+    // One accumulator per track: read, write, insert, delete.
+    let mut accs = [RunAcc::new(), RunAcc::new(), RunAcc::new(), RunAcc::new()];
+
+    let classify_rw = |track: usize| {
+        move |acc: &RunAcc| -> Option<PatternKind> {
+            match (track, acc.dir) {
+                (0, Dir::Forward) => Some(PatternKind::ReadForward),
+                (0, Dir::Backward) => Some(PatternKind::ReadBackward),
+                (1, Dir::Forward) => Some(PatternKind::WriteForward),
+                (1, Dir::Backward) => Some(PatternKind::WriteBackward),
+                _ => None,
+            }
+        }
+    };
+    let classify_ins = |acc: &RunAcc| -> Option<PatternKind> {
+        // Prefer the back classification: appending is by far the common
+        // case, and a run of appends to an initially empty list satisfies
+        // both predicates on its first event.
+        if acc.back_ok {
+            Some(PatternKind::InsertBack)
+        } else if acc.front_ok {
+            Some(PatternKind::InsertFront)
+        } else {
+            None
+        }
+    };
+    let classify_del = |acc: &RunAcc| -> Option<PatternKind> {
+        if acc.back_ok {
+            Some(PatternKind::DeleteBack)
+        } else if acc.front_ok {
+            Some(PatternKind::DeleteFront)
+        } else {
+            None
+        }
+    };
+
+    for e in events {
+        let Some(track) = track_of(e.kind) else {
+            continue; // compound events live outside the positional tracks
+        };
+        let Some(idx) = e.index() else {
+            // Positional kind without an index (shouldn't happen from our
+            // wrappers, but profiles may come from elsewhere): break the run.
+            match track {
+                0 | 1 => accs[track].emit(classify_rw(track), min_len, out, thread),
+                2 => accs[track].emit(classify_ins, min_len, out, thread),
+                _ => accs[track].emit(classify_del, min_len, out, thread),
+            }
+            continue;
+        };
+
+        match track {
+            0 | 1 => {
+                // Read/Write tracks: adjacent monotone indices.
+                let acc = &mut accs[track];
+                let extend = match acc.events.last().and_then(|p| p.index()) {
+                    None => true,
+                    Some(prev) => match acc.dir {
+                        Dir::Unknown => idx == prev + 1 || (prev > 0 && idx == prev - 1),
+                        Dir::Forward => idx == prev + 1,
+                        Dir::Backward => prev > 0 && idx == prev - 1,
+                    },
+                };
+                if !extend {
+                    let seed = *acc.events.last().expect("break implies prior event");
+                    acc.emit(classify_rw(track), min_len, out, thread);
+                    // The event that broke the run may still chain with its
+                    // immediate predecessor (e.g. 0,1,2,1,0: "1" breaks the
+                    // forward run but seeds a backward one with "2"... no —
+                    // runs must not share events, so we only seed with the
+                    // breaker's predecessor when directions allow).
+                    let _ = seed; // runs are disjoint; start fresh instead
+                }
+                let acc = &mut accs[track];
+                if let Some(prev) = acc.events.last().and_then(|p| p.index()) {
+                    if acc.dir == Dir::Unknown {
+                        acc.dir = if idx == prev + 1 {
+                            Dir::Forward
+                        } else {
+                            Dir::Backward
+                        };
+                    }
+                }
+                acc.events.push(*e);
+            }
+            2 => {
+                let front = insert_at_front(e);
+                let back = insert_at_back(e);
+                let acc = &mut accs[2];
+                let new_front = acc.front_ok && front;
+                let new_back = acc.back_ok && back;
+                let compatible = (new_front || new_back) && (front || back);
+                // Additionally, a back-run must be *contiguous*: each append
+                // lands one past the previous one. A Clear between appends
+                // resets the index to 0, which (by front/back flags alone)
+                // could still look front-compatible; require monotone growth
+                // for back runs so refill phases separate.
+                let contiguous = match acc.events.last().and_then(|p| p.index()) {
+                    None => true,
+                    Some(prev) => {
+                        if new_back {
+                            idx == prev + 1
+                        } else {
+                            true // front inserts always land at 0
+                        }
+                    }
+                };
+                if acc.events.is_empty() {
+                    if front || back {
+                        acc.front_ok = front;
+                        acc.back_ok = back;
+                        acc.events.push(*e);
+                    }
+                    // Middle inserts never start a run.
+                } else if compatible && contiguous {
+                    acc.front_ok = new_front;
+                    acc.back_ok = new_back;
+                    acc.events.push(*e);
+                } else {
+                    acc.emit(classify_ins, min_len, out, thread);
+                    let acc = &mut accs[2];
+                    if front || back {
+                        acc.front_ok = front;
+                        acc.back_ok = back;
+                        acc.events.push(*e);
+                    }
+                }
+            }
+            _ => {
+                let front = delete_at_front(e);
+                let back = delete_at_back(e);
+                let acc = &mut accs[3];
+                let new_front = acc.front_ok && front;
+                let new_back = acc.back_ok && back;
+                if acc.events.is_empty() {
+                    if front || back {
+                        acc.front_ok = front;
+                        acc.back_ok = back;
+                        acc.events.push(*e);
+                    }
+                } else if new_front || new_back {
+                    acc.front_ok = new_front;
+                    acc.back_ok = new_back;
+                    acc.events.push(*e);
+                } else {
+                    acc.emit(classify_del, min_len, out, thread);
+                    let acc = &mut accs[3];
+                    if front || back {
+                        acc.front_ok = front;
+                        acc.back_ok = back;
+                        acc.events.push(*e);
+                    }
+                }
+            }
+        }
+    }
+
+    // Flush all tracks.
+    accs[0].emit(classify_rw(0), min_len, out, thread);
+    accs[1].emit(classify_rw(1), min_len, out, thread);
+    accs[2].emit(classify_ins, min_len, out, thread);
+    accs[3].emit(classify_del, min_len, out, thread);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AllocationSite, DsKind, InstanceId, InstanceInfo, Target};
+
+    fn profile(events: Vec<AccessEvent>) -> RuntimeProfile {
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("T", "m", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    fn mine(events: Vec<AccessEvent>) -> Vec<PatternInstance> {
+        mine_patterns(&profile(events), &MinerConfig::default())
+    }
+
+    /// n appends: Insert at growing back positions.
+    fn appends(seq0: u64, n: u32, len0: u32) -> Vec<AccessEvent> {
+        (0..n)
+            .map(|i| {
+                AccessEvent::at(
+                    seq0 + u64::from(i),
+                    AccessKind::Insert,
+                    len0 + i,
+                    len0 + i + 1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_reads_form_read_forward() {
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32, 10))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        let p = pats[0];
+        assert_eq!(p.kind, PatternKind::ReadForward);
+        assert_eq!(p.len, 10);
+        assert_eq!((p.lo, p.hi), (0, 9));
+        assert!((p.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_reads_form_read_backward() {
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, 9 - i as u32, 10))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::ReadBackward);
+    }
+
+    #[test]
+    fn writes_form_write_patterns() {
+        let fwd: Vec<_> = (0..5)
+            .map(|i| AccessEvent::at(i, AccessKind::Write, i as u32, 5))
+            .collect();
+        assert_eq!(mine(fwd)[0].kind, PatternKind::WriteForward);
+        let bwd: Vec<_> = (0..5)
+            .map(|i| AccessEvent::at(i, AccessKind::Write, 4 - i as u32, 5))
+            .collect();
+        assert_eq!(mine(bwd)[0].kind, PatternKind::WriteBackward);
+    }
+
+    #[test]
+    fn appends_form_insert_back() {
+        let pats = mine(appends(0, 20, 0));
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::InsertBack);
+        assert_eq!(pats[0].len, 20);
+    }
+
+    #[test]
+    fn front_inserts_form_insert_front() {
+        let events: Vec<_> = (0..8)
+            .map(|i| AccessEvent::at(i, AccessKind::Insert, 0, i as u32 + 1))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::InsertFront);
+    }
+
+    #[test]
+    fn pop_like_deletes_form_delete_back() {
+        // Deleting from the back of a 10-element list: indices 9,8,...
+        // and post-delete len equals the index.
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Delete, 9 - i as u32, 9 - i as u32))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::DeleteBack);
+    }
+
+    #[test]
+    fn dequeue_like_deletes_form_delete_front() {
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Delete, 0, 9 - i as u32))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::DeleteFront);
+    }
+
+    #[test]
+    fn interleaved_insert_and_read_detected_separately() {
+        // The Fig. 3 shape: producer appends while a reader scans forward.
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for i in 0..50u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
+            seq += 1;
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, i + 1));
+            seq += 1;
+        }
+        let pats = mine(events);
+        assert_eq!(pats.len(), 2);
+        let kinds: std::collections::HashSet<_> = pats.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PatternKind::InsertBack));
+        assert!(kinds.contains(&PatternKind::ReadForward));
+        for p in &pats {
+            assert_eq!(p.len, 50);
+        }
+    }
+
+    #[test]
+    fn clear_and_refill_yields_repeated_insert_phases() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for _cycle in 0..5 {
+            for e in appends(seq, 30, 0) {
+                events.push(e);
+            }
+            seq += 30;
+            events.push(AccessEvent::whole(seq, AccessKind::Clear, 30));
+            seq += 1;
+        }
+        let pats = mine(events);
+        let inserts: Vec<_> = pats
+            .iter()
+            .filter(|p| p.kind == PatternKind::InsertBack)
+            .collect();
+        assert_eq!(inserts.len(), 5, "each refill is its own phase");
+        for p in inserts {
+            assert_eq!(p.len, 30);
+        }
+    }
+
+    #[test]
+    fn non_adjacent_reads_break_runs() {
+        // Read 0,1,2 then jump to 7,8,9: two separate forward runs.
+        let idxs = [0u32, 1, 2, 7, 8, 9];
+        let events: Vec<_> = idxs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| AccessEvent::at(s as u64, AccessKind::Read, i, 10))
+            .collect();
+        let pats = mine(events);
+        assert_eq!(pats.len(), 2);
+        assert!(pats
+            .iter()
+            .all(|p| p.kind == PatternKind::ReadForward && p.len == 3));
+    }
+
+    #[test]
+    fn short_runs_are_filtered() {
+        let idxs = [0u32, 1, 5, 6, 3];
+        let events: Vec<_> = idxs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| AccessEvent::at(s as u64, AccessKind::Read, i, 10))
+            .collect();
+        assert!(
+            mine(events).is_empty(),
+            "runs of 2 stay below min_run_len=3"
+        );
+    }
+
+    #[test]
+    fn random_access_yields_no_patterns() {
+        let idxs = [5u32, 2, 9, 0, 7, 3, 8, 1];
+        let events: Vec<_> = idxs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| AccessEvent::at(s as u64, AccessKind::Read, i, 10))
+            .collect();
+        assert!(mine(events).is_empty());
+    }
+
+    #[test]
+    fn middle_inserts_form_no_pattern() {
+        // Inserting into the middle each time.
+        let events: Vec<_> = (0..10)
+            .map(|i| AccessEvent::at(i, AccessKind::Insert, (i as u32 + 2) / 2, i as u32 + 5))
+            .collect();
+        let pats = mine(events);
+        assert!(
+            pats.iter().all(|p| !p.kind.is_insert() || p.len < 4),
+            "middle inserts must not form long insert patterns: {pats:?}"
+        );
+    }
+
+    #[test]
+    fn per_thread_untangling() {
+        // Two threads each scanning forward; globally interleaved the
+        // indices look chaotic, per-thread they are clean runs.
+        let mut events = Vec::new();
+        for i in 0..20u32 {
+            let mut a = AccessEvent::at(u64::from(2 * i), AccessKind::Read, i, 20);
+            a.thread = ThreadTag(1);
+            events.push(a);
+            let mut b = AccessEvent::at(u64::from(2 * i + 1), AccessKind::Read, 19 - i, 20);
+            b.thread = ThreadTag(2);
+            events.push(b);
+        }
+        let pats = mine(events);
+        assert_eq!(pats.len(), 2);
+        let t1 = pats.iter().find(|p| p.thread == ThreadTag(1)).unwrap();
+        let t2 = pats.iter().find(|p| p.thread == ThreadTag(2)).unwrap();
+        assert_eq!(t1.kind, PatternKind::ReadForward);
+        assert_eq!(t2.kind, PatternKind::ReadBackward);
+    }
+
+    #[test]
+    fn direction_reversal_splits_runs() {
+        // 0..=9 then 8 down to 0: forward run then backward run.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..10u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, 10));
+            seq += 1;
+        }
+        for i in (0..9u32).rev() {
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, 10));
+            seq += 1;
+        }
+        let pats = mine(events);
+        assert_eq!(pats.len(), 2);
+        assert_eq!(pats[0].kind, PatternKind::ReadForward);
+        assert_eq!(pats[0].len, 10);
+        assert_eq!(pats[1].kind, PatternKind::ReadBackward);
+        assert_eq!(pats[1].len, 9);
+    }
+
+    #[test]
+    fn compound_events_are_transparent_to_tracks() {
+        // Searches sprinkled into a forward read scan do not break it.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..10u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, 10));
+            seq += 1;
+            if i % 3 == 0 {
+                events.push(AccessEvent {
+                    seq,
+                    nanos: seq,
+                    kind: AccessKind::Search,
+                    target: Target::Range {
+                        start: 0,
+                        end: i + 1,
+                    },
+                    len: 10,
+                    thread: ThreadTag::MAIN,
+                });
+                seq += 1;
+            }
+        }
+        let pats = mine(events);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].kind, PatternKind::ReadForward);
+        assert_eq!(pats[0].len, 10);
+    }
+
+    #[test]
+    fn empty_profile_mines_nothing() {
+        assert!(mine(vec![]).is_empty());
+    }
+
+    #[test]
+    fn instances_sorted_by_first_seq() {
+        let mut events = appends(0, 10, 0);
+        for i in 0..10u32 {
+            events.push(AccessEvent::at(100 + u64::from(i), AccessKind::Read, i, 10));
+        }
+        let pats = mine(events);
+        assert!(pats.windows(2).all(|w| w[0].first_seq <= w[1].first_seq));
+    }
+}

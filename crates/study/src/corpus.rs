@@ -1,0 +1,390 @@
+//! The 37-program corpus model, calibrated against Table I and Fig. 1.
+
+use dsspy_events::DsKind;
+use serde::{Deserialize, Serialize};
+
+/// The ten dynamic data-structure kinds the study's scanner recognizes, in
+/// descending frequency order, with the paper's per-kind totals (§II-A:
+/// list 65.05 %, dictionary 16.53 %, ..., hashtable 0.00 %).
+pub const DS_KIND_TOTALS: [(DsKind, usize); 11] = [
+    (DsKind::List, 1_275),
+    (DsKind::Dictionary, 324),
+    (DsKind::ArrayList, 192),
+    (DsKind::Stack, 49),
+    (DsKind::Queue, 41),
+    (DsKind::HashSet, 38),
+    (DsKind::SortedList, 20),
+    (DsKind::SortedSet, 10),
+    (DsKind::SortedDictionary, 8),
+    (DsKind::LinkedList, 3),
+    (DsKind::Hashtable, 0),
+];
+
+/// Total dynamic instances in the study.
+pub const TOTAL_DYNAMIC: usize = 1_960;
+/// Arrays found in addition to the dynamic structures (§II-A).
+pub const TOTAL_ARRAYS: usize = 785;
+/// Total LOC of the corpus (Table I).
+pub const TOTAL_LOC: usize = 936_356;
+
+/// One Table I row: an application domain with its aggregate numbers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Domain name (Table I spelling).
+    pub name: &'static str,
+    /// Short label used in Fig. 1.
+    pub short: &'static str,
+    /// Dynamic data-structure instances in the domain.
+    pub instances: usize,
+    /// Lines of code in the domain.
+    pub loc: usize,
+}
+
+/// The eleven domains of Table I, ascending by LOC (the paper's order).
+pub const DOMAINS: [DomainSpec; 11] = [
+    DomainSpec {
+        name: "File and text search",
+        short: "Srch",
+        instances: 11,
+        loc: 1_046,
+    },
+    DomainSpec {
+        name: "Source code optimization",
+        short: "Opt",
+        instances: 16,
+        loc: 2_048,
+    },
+    DomainSpec {
+        name: "Compression",
+        short: "Comp",
+        instances: 2,
+        loc: 4_342,
+    },
+    DomainSpec {
+        name: "Program visualization",
+        short: "Vis",
+        instances: 57,
+        loc: 10_712,
+    },
+    DomainSpec {
+        name: "Parser",
+        short: "Parser",
+        instances: 51,
+        loc: 17_836,
+    },
+    DomainSpec {
+        name: "Image algorithm library",
+        short: "Img lib",
+        instances: 60,
+        loc: 41_456,
+    },
+    DomainSpec {
+        name: "Game",
+        short: "Game",
+        instances: 315,
+        loc: 45_512,
+    },
+    DomainSpec {
+        name: "Simulation",
+        short: "Simulation",
+        instances: 150,
+        loc: 63_548,
+    },
+    DomainSpec {
+        name: "Graph algorithms library",
+        short: "Graph lib",
+        instances: 184,
+        loc: 69_472,
+    },
+    DomainSpec {
+        name: "Office software",
+        short: "Office",
+        instances: 396,
+        loc: 151_220,
+    },
+    DomainSpec {
+        name: "Data structures & algorithms library",
+        short: "DS lib",
+        instances: 718,
+        loc: 529_164,
+    },
+];
+
+/// The 37 programs with their Fig. 1 instance sums, grouped by domain.
+/// These 37 (name, domain-short, Σ) triples are read straight off Fig. 1's
+/// x-axis; they sum to 1,960 and each domain's programs sum to its Table I
+/// instance count — both facts are enforced by tests.
+pub const PROGRAMS: [(&str, &str, usize); 37] = [
+    ("Contentfinder", "Srch", 11),
+    ("sharpener", "Opt", 16),
+    ("7zip", "Comp", 2),
+    ("SequenceViz", "Vis", 57),
+    ("csparser", "Parser", 51),
+    ("cognitionmaster", "Img lib", 60),
+    ("rrrsroguelike", "Game", 5),
+    ("ittycoon.net", "Game", 27),
+    ("theAirline", "Game", 130),
+    ("ManicDigger2011", "Game", 153),
+    ("starsystemsimulator", "Simulation", 1),
+    ("Net_With_UI", "Simulation", 1),
+    ("Arcanum", "Simulation", 2),
+    ("twodsphsim", "Simulation", 8),
+    ("rushHour", "Simulation", 8),
+    ("fire", "Simulation", 8),
+    ("borys-MeshRouting", "Simulation", 19),
+    ("evo", "Simulation", 31),
+    ("dotqcf", "Simulation", 35),
+    ("gpdotnet", "Simulation", 37),
+    ("zedgraph", "Graph lib", 2),
+    ("TreeLayoutHelper", "Graph lib", 22),
+    ("graphsharp", "Graph lib", 160),
+    ("ProcessHacker", "Office", 4),
+    ("BeHappy", "Office", 7),
+    ("TerraBIB", "Office", 13),
+    ("metaclip", "Office", 14),
+    ("clipper", "Office", 20),
+    ("waveletstudio", "Office", 28),
+    ("netinfotrace", "Office", 30),
+    ("dddpds (SmartCA)", "Office", 34),
+    ("greatmaps", "Office", 77),
+    ("OsmExplorer", "Office", 169),
+    ("dsa", "DS lib", 10),
+    ("compgeo", "DS lib", 13),
+    ("orazio1", "DS lib", 32),
+    ("dotspatial", "DS lib", 663),
+];
+
+/// One modeled corpus program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProgramModel {
+    /// Program name as Fig. 1 labels it.
+    pub name: String,
+    /// Domain short label.
+    pub domain: &'static str,
+    /// Dynamic instance counts per kind, aligned with [`DS_KIND_TOTALS`].
+    pub counts: [usize; 11],
+    /// Array declarations in the program.
+    pub arrays: usize,
+    /// Modeled lines of code.
+    pub loc: usize,
+}
+
+impl ProgramModel {
+    /// Total dynamic instances (the Fig. 1 Σ).
+    pub fn total_dynamic(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Instance count of one kind.
+    pub fn count(&self, kind: DsKind) -> usize {
+        DS_KIND_TOTALS
+            .iter()
+            .position(|(k, _)| *k == kind)
+            .map(|i| self.counts[i])
+            .unwrap_or(0)
+    }
+}
+
+/// Apportion `total` across weights `w` deterministically so that the parts
+/// sum to exactly `total` (largest-remainder method, stable tie-break by
+/// index).
+fn apportion(total: usize, weights: &[usize]) -> Vec<usize> {
+    let wsum: usize = weights.iter().sum();
+    if wsum == 0 {
+        let mut out = vec![0; weights.len()];
+        if let Some(first) = out.first_mut() {
+            *first = total;
+        }
+        return out;
+    }
+    let mut out: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact_num = total * w;
+        let base = exact_num / wsum;
+        out.push(base);
+        assigned += base;
+        remainders.push((exact_num % wsum, i));
+    }
+    // Distribute the leftover to the largest remainders.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for k in 0..(total - assigned) {
+        out[remainders[k % remainders.len()].1] += 1;
+    }
+    out
+}
+
+/// Build the full 37-program corpus model.
+///
+/// Row constraints (per-program Σ from Fig. 1) are hard; per-kind column
+/// totals ([`DS_KIND_TOTALS`]) are hit exactly by apportioning each kind
+/// over the programs by weight and repairing rows from the List column
+/// (List is by far the largest, so it absorbs rounding slack — which is
+/// also the realistic place for it).
+pub fn build_corpus() -> Vec<ProgramModel> {
+    let sums: Vec<usize> = PROGRAMS.iter().map(|(_, _, s)| *s).collect();
+
+    // Apportion every non-List kind across programs by program size.
+    let mut counts = vec![[0usize; 11]; PROGRAMS.len()];
+    for (ki, (_, ktotal)) in DS_KIND_TOTALS.iter().enumerate().skip(1) {
+        let parts = apportion(*ktotal, &sums);
+        for (pi, part) in parts.into_iter().enumerate() {
+            counts[pi][ki] = part;
+        }
+    }
+    // Repair rows with the List column; if a small program was over-filled
+    // by the other kinds, shift the overflow to the biggest program.
+    let mut overflow = 0isize;
+    for (pi, sum) in sums.iter().enumerate() {
+        let non_list: usize = counts[pi][1..].iter().sum();
+        if non_list <= *sum {
+            counts[pi][0] = sum - non_list;
+        } else {
+            overflow += (non_list - sum) as isize;
+            // Trim the largest non-List entries until the row fits.
+            let mut excess = non_list - sum;
+            while excess > 0 {
+                let (ki, _) = counts[pi][1..]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .expect("non-empty");
+                counts[pi][ki + 1] -= 1;
+                excess -= 1;
+            }
+            counts[pi][0] = 0;
+        }
+    }
+    // Whatever was trimmed must reappear somewhere to keep column totals:
+    // give it to the largest program's non-List slack... but its row is
+    // fixed too, so convert: the big program trades List slots for the
+    // trimmed kinds.
+    if overflow > 0 {
+        let big = sums
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i)
+            .expect("non-empty corpus");
+        // Recompute which kinds are short.
+        for (ki, (_, ktotal)) in DS_KIND_TOTALS.iter().enumerate().skip(1) {
+            let have: usize = counts.iter().map(|row| row[ki]).sum();
+            let short = ktotal - have;
+            counts[big][ki] += short;
+            counts[big][0] -= short;
+        }
+    }
+
+    // Arrays and LOC by the same weights; LOC within each domain must sum
+    // to the Table I figure.
+    let arrays = apportion(TOTAL_ARRAYS, &sums);
+    let mut locs = vec![0usize; PROGRAMS.len()];
+    for domain in DOMAINS {
+        let members: Vec<usize> = PROGRAMS
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, d, _))| *d == domain.short)
+            .map(|(i, _)| i)
+            .collect();
+        let weights: Vec<usize> = members.iter().map(|&i| PROGRAMS[i].2.max(1)).collect();
+        let parts = apportion(domain.loc, &weights);
+        for (slot, &i) in members.iter().enumerate() {
+            locs[i] = parts[slot];
+        }
+    }
+
+    PROGRAMS
+        .iter()
+        .enumerate()
+        .map(|(pi, (name, domain, _))| ProgramModel {
+            name: (*name).to_string(),
+            domain,
+            counts: counts[pi],
+            arrays: arrays[pi],
+            loc: locs[pi],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_sums_total_1960() {
+        let total: usize = PROGRAMS.iter().map(|(_, _, s)| s).sum();
+        assert_eq!(total, TOTAL_DYNAMIC);
+    }
+
+    #[test]
+    fn per_domain_sums_match_table_i() {
+        for domain in DOMAINS {
+            let sum: usize = PROGRAMS
+                .iter()
+                .filter(|(_, d, _)| *d == domain.short)
+                .map(|(_, _, s)| s)
+                .sum();
+            assert_eq!(sum, domain.instances, "{}", domain.name);
+        }
+        let loc: usize = DOMAINS.iter().map(|d| d.loc).sum();
+        assert_eq!(loc, TOTAL_LOC);
+    }
+
+    #[test]
+    fn kind_totals_match_paper_shares() {
+        let total: usize = DS_KIND_TOTALS.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, TOTAL_DYNAMIC);
+        // List share 65.05 %, dictionary 16.53 % (§II-A).
+        assert!((1_275.0f64 / 1_960.0 - 0.6505).abs() < 1e-3);
+        assert!((324.0f64 / 1_960.0 - 0.1653).abs() < 1e-3);
+        // List is 3.94× dictionary (§VIII).
+        assert!((1_275.0f64 / 324.0 - 3.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn corpus_rows_and_columns_are_exact() {
+        let corpus = build_corpus();
+        assert_eq!(corpus.len(), 37);
+        // Rows: every program's Σ matches Fig. 1.
+        for (model, (name, _, sum)) in corpus.iter().zip(PROGRAMS.iter()) {
+            assert_eq!(model.total_dynamic(), *sum, "{name}");
+        }
+        // Columns: every kind total matches the paper.
+        for (ki, (kind, ktotal)) in DS_KIND_TOTALS.iter().enumerate() {
+            let have: usize = corpus.iter().map(|m| m.counts[ki]).sum();
+            assert_eq!(have, *ktotal, "{kind}");
+        }
+        // Arrays and LOC totals.
+        let arrays: usize = corpus.iter().map(|m| m.arrays).sum();
+        assert_eq!(arrays, TOTAL_ARRAYS);
+        let loc: usize = corpus.iter().map(|m| m.loc).sum();
+        assert_eq!(loc, TOTAL_LOC);
+    }
+
+    #[test]
+    fn apportion_exact_and_stable() {
+        assert_eq!(apportion(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(apportion(0, &[5, 5]), vec![0, 0]);
+        assert_eq!(apportion(7, &[0, 0]), vec![7, 0]);
+        let parts = apportion(1_275, &[663, 169, 160, 153, 130]);
+        assert_eq!(parts.iter().sum::<usize>(), 1_275);
+        // Deterministic.
+        assert_eq!(parts, apportion(1_275, &[663, 169, 160, 153, 130]));
+    }
+
+    #[test]
+    fn count_lookup_by_kind() {
+        let corpus = build_corpus();
+        let dotspatial = corpus.iter().find(|m| m.name == "dotspatial").unwrap();
+        assert!(
+            dotspatial.count(DsKind::List) > 300,
+            "dotspatial is list-heavy"
+        );
+        assert_eq!(
+            dotspatial.count(DsKind::Array),
+            0,
+            "arrays tracked separately"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Corpus materialization: write the generated programs to disk and scan
+//! them back as files.
+//!
+//! The paper's tool "instruments and executes a full source code copy that
+//! is cleaned up after data collection" (§IV); for the study the regular
+//! expressions also run over real files. This module closes that loop: the
+//! corpus can be written out as `.cs` files, scanned from disk, and removed.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::corpus::ProgramModel;
+use crate::scanner::{scan_source, ScanResult};
+use crate::source_gen::generate_source;
+
+/// Write every corpus program into `dir` as `<name>.cs` (the name is
+/// sanitized for the filesystem). Returns the written paths in corpus
+/// order.
+pub fn materialize_corpus(models: &[ProgramModel], dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(models.len());
+    for model in models {
+        let safe: String = model
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{safe}.cs"));
+        std::fs::write(&path, generate_source(model))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Scan every `.cs` file in `dir` (non-recursive), returning
+/// `(file name, scan result)` pairs sorted by file name.
+pub fn scan_dir(dir: &Path) -> io::Result<Vec<(String, ScanResult)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        out.push((name, scan_source(&source)));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsspy-corpus-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn materialize_and_scan_round_trip() {
+        // A small slice of the corpus keeps the test fast.
+        let corpus = build_corpus();
+        let small: Vec<_> = corpus.iter().filter(|m| m.loc < 5_000).cloned().collect();
+        assert!(small.len() >= 5);
+        let dir = temp_dir("roundtrip");
+        let paths = materialize_corpus(&small, &dir).unwrap();
+        assert_eq!(paths.len(), small.len());
+        for p in &paths {
+            assert!(p.exists());
+        }
+
+        let scans = scan_dir(&dir).unwrap();
+        assert_eq!(scans.len(), small.len());
+        // Every program's file scan matches its in-memory scan.
+        for model in &small {
+            let safe: String = model
+                .name
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() || c == '-' || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let (_, scan) = scans
+                .iter()
+                .find(|(name, _)| *name == safe)
+                .unwrap_or_else(|| panic!("missing {safe}"));
+            assert_eq!(
+                scan.dynamic_count(),
+                model.total_dynamic(),
+                "{}",
+                model.name
+            );
+            assert_eq!(scan.array_count(), model.arrays, "{}", model.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn names_with_special_characters_are_sanitized() {
+        let corpus = build_corpus();
+        let dddpds = corpus
+            .iter()
+            .find(|m| m.name.contains('('))
+            .expect("dddpds (SmartCA) exists");
+        let dir = temp_dir("sanitize");
+        let paths = materialize_corpus(std::slice::from_ref(dddpds), &dir).unwrap();
+        let fname = paths[0].file_name().unwrap().to_str().unwrap();
+        assert!(!fname.contains('('), "{fname}");
+        assert!(fname.ends_with(".cs"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_dir_ignores_non_cs_files() {
+        let dir = temp_dir("ignore");
+        std::fs::write(dir.join("notes.txt"), "new List<int>()").unwrap();
+        std::fs::write(dir.join("real.cs"), "var a = new List<int>();").unwrap();
+        let scans = scan_dir(&dir).unwrap();
+        assert_eq!(scans.len(), 1);
+        assert_eq!(scans[0].0, "real");
+        assert_eq!(scans[0].1.dynamic_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_an_error() {
+        assert!(scan_dir(Path::new("/nonexistent-dsspy-dir")).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! The declaration scanner — the study's "regular expression" pass.
+//!
+//! §II-A: "We used regular expressions to gather the number of data
+//! structure instances, their locations, and their types from the Common
+//! Type System." This module is that pass, implemented as a hand-rolled
+//! pattern matcher over source text (no regex crate needed for the
+//! `new <Type>(`/`new <elem>[` shapes involved).
+
+use dsspy_events::DsKind;
+use serde::{Deserialize, Serialize};
+
+/// One found declaration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Declaration {
+    /// The data-structure kind declared.
+    pub kind: DsKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Scanner output for one source file.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ScanResult {
+    /// Every declaration found, in source order.
+    pub declarations: Vec<Declaration>,
+    /// `List` members declared at class level (the §II-A class-member
+    /// finding).
+    pub member_lists: usize,
+    /// Classes seen.
+    pub classes: usize,
+    /// Lines scanned.
+    pub lines: usize,
+}
+
+impl ScanResult {
+    /// Count of declarations of one kind.
+    pub fn count(&self, kind: DsKind) -> usize {
+        self.declarations.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// Count of dynamic (non-array) declarations.
+    pub fn dynamic_count(&self) -> usize {
+        self.declarations
+            .iter()
+            .filter(|d| d.kind != DsKind::Array)
+            .count()
+    }
+
+    /// Count of array declarations.
+    pub fn array_count(&self) -> usize {
+        self.count(DsKind::Array)
+    }
+}
+
+/// The constructor spellings the scanner recognizes, most specific first
+/// (`SortedList` before `List`, etc. — order matters for prefix matching).
+const CTORS: [(&str, DsKind); 11] = [
+    ("new SortedList", DsKind::SortedList),
+    ("new SortedSet", DsKind::SortedSet),
+    ("new SortedDictionary", DsKind::SortedDictionary),
+    ("new LinkedList", DsKind::LinkedList),
+    ("new Dictionary", DsKind::Dictionary),
+    ("new ArrayList", DsKind::ArrayList),
+    ("new HashSet", DsKind::HashSet),
+    ("new Hashtable", DsKind::Hashtable),
+    ("new Stack", DsKind::Stack),
+    ("new Queue", DsKind::Queue),
+    ("new List", DsKind::List),
+];
+
+/// Scan one source text for data-structure declarations.
+pub fn scan_source(source: &str) -> ScanResult {
+    let mut result = ScanResult::default();
+    for (lineno, line) in source.lines().enumerate() {
+        result.lines += 1;
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if trimmed.starts_with("class ") {
+            result.classes += 1;
+        }
+        if trimmed.starts_with("private List<") || trimmed.starts_with("public List<") {
+            result.member_lists += 1;
+        }
+        // Dynamic structure constructors.
+        let mut rest = line;
+        'outer: while let Some(pos) = rest.find("new ") {
+            let tail = &rest[pos..];
+            for (pat, kind) in CTORS {
+                if let Some(after) = tail.strip_prefix(pat) {
+                    // Require the constructor shape: `new Type(` or
+                    // `new Type<...>(`.
+                    let ok = after.starts_with('(')
+                        || (after.starts_with('<')
+                            && after
+                                .find('>')
+                                .is_some_and(|g| after[g..].starts_with(">(")));
+                    if ok {
+                        result.declarations.push(Declaration {
+                            kind,
+                            line: lineno + 1,
+                        });
+                        rest = &rest[pos + pat.len()..];
+                        continue 'outer;
+                    }
+                }
+            }
+            // Array allocation: `new <elem>[<len>]`.
+            let after_new = &tail[4..];
+            if let Some(bracket) = after_new.find('[') {
+                let elem = &after_new[..bracket];
+                let is_ident = !elem.is_empty()
+                    && elem
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+                if is_ident && after_new[bracket..].contains(']') {
+                    result.declarations.push(Declaration {
+                        kind: DsKind::Array,
+                        line: lineno + 1,
+                    });
+                }
+            }
+            rest = &rest[pos + 4..];
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_all_ctor_shapes() {
+        let src = r#"
+class C1
+{
+    private List<int> items = new List<int>();
+    void M()
+    {
+        List<int> a = new List<int>();
+        Dictionary<string, int> b = new Dictionary<string, int>();
+        ArrayList c = new ArrayList();
+        Stack<int> d = new Stack<int>();
+        Queue<int> e = new Queue<int>();
+        HashSet<int> f = new HashSet<int>();
+        SortedList<string, int> g = new SortedList<string, int>();
+        SortedSet<int> h = new SortedSet<int>();
+        SortedDictionary<string, int> i = new SortedDictionary<string, int>();
+        LinkedList<int> j = new LinkedList<int>();
+        Hashtable k = new Hashtable();
+        int[] l = new int[42];
+    }
+}
+"#;
+        let r = scan_source(src);
+        assert_eq!(r.count(DsKind::List), 2, "member + local");
+        assert_eq!(r.count(DsKind::Dictionary), 1);
+        assert_eq!(r.count(DsKind::ArrayList), 1);
+        assert_eq!(r.count(DsKind::Stack), 1);
+        assert_eq!(r.count(DsKind::Queue), 1);
+        assert_eq!(r.count(DsKind::HashSet), 1);
+        assert_eq!(r.count(DsKind::SortedList), 1);
+        assert_eq!(r.count(DsKind::SortedSet), 1);
+        assert_eq!(r.count(DsKind::SortedDictionary), 1);
+        assert_eq!(r.count(DsKind::LinkedList), 1);
+        assert_eq!(r.count(DsKind::Hashtable), 1);
+        assert_eq!(r.array_count(), 1);
+        assert_eq!(r.member_lists, 1);
+        assert_eq!(r.classes, 1);
+        assert_eq!(r.dynamic_count(), 12);
+    }
+
+    #[test]
+    fn sorted_list_not_miscounted_as_list() {
+        let r = scan_source("var x = new SortedList<string, int>();");
+        assert_eq!(r.count(DsKind::SortedList), 1);
+        assert_eq!(r.count(DsKind::List), 0);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let r = scan_source("// List<int> a = new List<int>();\n");
+        assert_eq!(r.dynamic_count(), 0);
+    }
+
+    #[test]
+    fn line_numbers_are_recorded() {
+        let src = "class C\n{\n    void M()\n    {\n        var a = new List<int>();\n    }\n}\n";
+        let r = scan_source(src);
+        assert_eq!(r.declarations[0].line, 5);
+    }
+
+    #[test]
+    fn multiple_declarations_on_one_line() {
+        let r = scan_source("var a = new List<int>(); var b = new List<int>();");
+        assert_eq!(r.count(DsKind::List), 2);
+    }
+
+    #[test]
+    fn plain_new_object_is_not_a_match() {
+        let r = scan_source("var a = new Foo(); var b = new Listing();");
+        assert_eq!(r.dynamic_count(), 0);
+        assert_eq!(r.array_count(), 0);
+    }
+}

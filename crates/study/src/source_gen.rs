@@ -1,0 +1,182 @@
+//! Pseudo-C# source generation for corpus programs.
+//!
+//! Renders a [`ProgramModel`] as source text containing exactly its
+//! declared data-structure instances (plus classes, methods, comments and
+//! filler statements), so the [`crate::scanner`] has something real to
+//! scan — the study's methodology was "regular expressions [over source]
+//! to gather the number of data structure instances, their locations, and
+//! their types" (§II-A).
+
+use dsspy_events::DsKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::{ProgramModel, DS_KIND_TOTALS};
+
+/// The C# type name a declaration of `kind` uses.
+pub fn csharp_type(kind: DsKind) -> &'static str {
+    match kind {
+        DsKind::List => "List<int>",
+        DsKind::Dictionary => "Dictionary<string, int>",
+        DsKind::ArrayList => "ArrayList",
+        DsKind::Stack => "Stack<int>",
+        DsKind::Queue => "Queue<int>",
+        DsKind::HashSet => "HashSet<int>",
+        DsKind::SortedList => "SortedList<string, int>",
+        DsKind::SortedSet => "SortedSet<int>",
+        DsKind::SortedDictionary => "SortedDictionary<string, int>",
+        DsKind::LinkedList => "LinkedList<int>",
+        DsKind::Hashtable => "Hashtable",
+        DsKind::Array => "int[]",
+        DsKind::Deque => "Deque<int>",
+    }
+}
+
+/// Render one program's source. Deterministic for a given model (seeded by
+/// the program name), `model.loc` lines long (±1), containing exactly
+/// `model.counts` dynamic declarations and `model.arrays` array
+/// declarations, with roughly every third class holding a `List` member
+/// (the §II-A finding).
+pub fn generate_source(model: &ProgramModel) -> String {
+    let seed = model.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Collect all declarations to place.
+    let mut decls: Vec<String> = Vec::new();
+    let mut var = 0usize;
+    for (ki, (kind, _)) in DS_KIND_TOTALS.iter().enumerate() {
+        for _ in 0..model.counts[ki] {
+            let ty = csharp_type(*kind);
+            let bare = ty.split('<').next().unwrap_or(ty);
+            decls.push(format!(
+                "        {ty} v{var} = new {bare}{}();",
+                if ty.contains('<') {
+                    &ty[bare.len()..]
+                } else {
+                    ""
+                }
+            ));
+            var += 1;
+        }
+    }
+    for _ in 0..model.arrays {
+        let n = rng.gen_range(4..64);
+        decls.push(format!("        int[] v{var} = new int[{n}];"));
+        var += 1;
+    }
+    // Shuffle declaration placement deterministically.
+    for i in (1..decls.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        decls.swap(i, j);
+    }
+
+    let mut out = String::with_capacity(model.loc * 32);
+    out.push_str(&format!(
+        "// {} — synthesized corpus member ({})\nusing System.Collections.Generic;\n\n",
+        model.name, model.domain
+    ));
+    let mut lines = 3usize;
+    let mut decl_iter = decls.into_iter().peekable();
+    let mut class_no = 0usize;
+    while lines < model.loc || decl_iter.peek().is_some() {
+        class_no += 1;
+        out.push_str(&format!("class C{class_no}\n{{\n"));
+        lines += 2;
+        // Every third class carries a List member (§II-A: "every third
+        // class contained at least one list instance as member").
+        if class_no.is_multiple_of(3) {
+            out.push_str("    private List<int> items;\n");
+            lines += 1;
+        }
+        out.push_str(&format!("    void M{class_no}()\n    {{\n"));
+        lines += 2;
+        // Drop a few declarations into this method.
+        let mut in_method = 0;
+        while in_method < 4 {
+            match decl_iter.next() {
+                Some(d) => {
+                    out.push_str(&d);
+                    out.push('\n');
+                    lines += 1;
+                    in_method += 1;
+                }
+                None => break,
+            }
+        }
+        // Filler statements to reach the LOC budget.
+        let remaining_decls = decl_iter.peek().is_some();
+        let mut filler = if remaining_decls {
+            rng.gen_range(1..6)
+        } else {
+            (model.loc.saturating_sub(lines + 2)).min(40)
+        };
+        while filler > 0 && lines < model.loc.saturating_sub(2) {
+            out.push_str(&format!("        total += {};\n", rng.gen_range(0..100)));
+            lines += 1;
+            filler -= 1;
+        }
+        out.push_str("    }\n}\n");
+        lines += 2;
+        if lines >= model.loc && decl_iter.peek().is_none() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let corpus = build_corpus();
+        let a = generate_source(&corpus[0]);
+        let b = generate_source(&corpus[0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_contains_every_declaration() {
+        let corpus = build_corpus();
+        let model = corpus.iter().find(|m| m.name == "gpdotnet").unwrap();
+        let src = generate_source(model);
+        let lists = src.matches("new List<int>()").count();
+        assert_eq!(lists, model.count(dsspy_events::DsKind::List));
+        let arrays = src.matches("= new int[").count();
+        assert_eq!(arrays, model.arrays);
+    }
+
+    #[test]
+    fn loc_is_close_to_budget() {
+        let corpus = build_corpus();
+        for model in corpus.iter().filter(|m| m.loc > 100) {
+            let src = generate_source(model);
+            let lines = src.lines().count();
+            let lo = model.loc * 9 / 10;
+            let hi = model.loc * 12 / 10 + 20;
+            assert!(
+                (lo..hi).contains(&lines),
+                "{}: {} lines for budget {}",
+                model.name,
+                lines,
+                model.loc
+            );
+        }
+    }
+
+    #[test]
+    fn member_lists_every_third_class() {
+        let corpus = build_corpus();
+        let model = corpus.iter().find(|m| m.name == "dotspatial").unwrap();
+        let src = generate_source(model);
+        let classes = src.matches("class C").count();
+        let members = src.matches("private List<int> items").count();
+        assert!(classes > 0);
+        let ratio = classes as f64 / members.max(1) as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+}

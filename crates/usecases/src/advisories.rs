@@ -1,0 +1,254 @@
+//! Structural misuse advisories — the §II-A code-inspection findings,
+//! automated.
+//!
+//! During its manual inspections the study found data-structure *misuse*
+//! beyond the eight use cases: "lists were used although other data
+//! structures like trees or heaps would have been better suited", and "in
+//! one case a list was used to act like a binary tree" (§II-A). Those
+//! observations have crisp runtime signatures:
+//!
+//! * **List-as-tree**: consecutive positional accesses hop along implicit
+//!   heap edges — from index `i` to `2i+1` or `2i+2` (downward) or from
+//!   `i` to `(i-1)/2` (upward). Random access almost never does this;
+//!   array-backed binary trees and binary heaps do it constantly.
+//! * **List-as-map**: a list whose traffic is dominated by linear searches
+//!   (`Contains`/`IndexOf`) with very few positional reads — the shape of
+//!   key lookups forced through `O(n)` scans.
+//!
+//! Advisories are deliberately *not* [`crate::UseCaseKind`]s: the paper's
+//! eight categories are its contribution and stay closed; these are the
+//! "improper data structure usage" side notes, reported separately.
+
+use dsspy_events::{AccessKind, RuntimeProfile};
+use serde::{Deserialize, Serialize};
+
+/// A structural misuse advisory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Advisory {
+    /// The list is traversed along implicit binary-tree edges.
+    ListAsTree {
+        /// Fraction of consecutive positional hops that follow heap edges.
+        tree_hop_share: f64,
+        /// Absolute number of heap-edge hops observed.
+        tree_hops: usize,
+    },
+    /// The list is used as a lookup table through linear searches.
+    ListAsMap {
+        /// Fraction of events that are explicit searches.
+        search_share: f64,
+        /// Absolute number of search operations.
+        searches: usize,
+    },
+}
+
+impl Advisory {
+    /// The recommendation text for the advisory.
+    pub fn recommendation(&self) -> &'static str {
+        match self {
+            Advisory::ListAsTree { .. } => {
+                "The access pattern walks implicit binary-tree edges (i → 2i+1 / 2i+2): \
+                 use a real tree or heap (e.g. BinaryHeap/BTreeMap) instead of indexing a \
+                 list; the standard library's implementations are also easier to replace \
+                 with concurrent variants."
+            }
+            Advisory::ListAsMap { .. } => {
+                "Lookups dominate and each costs a linear scan: a keyed structure \
+                 (HashMap/BTreeMap) turns them into O(1)/O(log n)."
+            }
+        }
+    }
+}
+
+/// Tunables for advisory detection.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdvisoryConfig {
+    /// Minimum fraction of hops following heap edges for list-as-tree.
+    pub tree_hop_share: f64,
+    /// Minimum absolute heap-edge hops.
+    pub min_tree_hops: usize,
+    /// Minimum fraction of events that are searches for list-as-map.
+    pub map_search_share: f64,
+    /// Minimum absolute searches.
+    pub min_searches: usize,
+}
+
+impl Default for AdvisoryConfig {
+    fn default() -> Self {
+        AdvisoryConfig {
+            tree_hop_share: 0.5,
+            min_tree_hops: 32,
+            map_search_share: 0.6,
+            min_searches: 64,
+        }
+    }
+}
+
+/// Detect misuse advisories on one profile (linear structures only).
+pub fn advisories(profile: &RuntimeProfile, config: &AdvisoryConfig) -> Vec<Advisory> {
+    let mut out = Vec::new();
+    if !profile.instance.kind.is_linear() {
+        return out;
+    }
+
+    // --- list-as-tree: heap-edge hop counting over traversal accesses ---
+    // Only in-place reads/writes participate: tree walks are traversals,
+    // and counting the (linear) fill phase would dilute the signal.
+    let mut hops = 0usize;
+    let mut tree_hops = 0usize;
+    let mut prev: Option<u32> = None;
+    for e in &profile.events {
+        if !matches!(e.kind, AccessKind::Read | AccessKind::Write) {
+            continue;
+        }
+        let Some(i) = e.index() else { continue };
+        if let Some(p) = prev {
+            hops += 1;
+            let down = i == 2 * p + 1 || i == 2 * p + 2;
+            let up = p > 0 && i == (p - 1) / 2;
+            if down || up {
+                tree_hops += 1;
+            }
+        }
+        prev = Some(i);
+    }
+    if hops > 0 {
+        let share = tree_hops as f64 / hops as f64;
+        if share >= config.tree_hop_share && tree_hops >= config.min_tree_hops {
+            out.push(Advisory::ListAsTree {
+                tree_hop_share: share,
+                tree_hops,
+            });
+        }
+    }
+
+    // --- list-as-map: search-dominated traffic -----------------------------
+    let total = profile.len();
+    let searches = profile
+        .events
+        .iter()
+        .filter(|e| e.kind == AccessKind::Search)
+        .count();
+    if total > 0 {
+        let share = searches as f64 / total as f64;
+        if share >= config.map_search_share && searches >= config.min_searches {
+            out.push(Advisory::ListAsMap {
+                search_share: share,
+                searches,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{
+        AccessEvent, AllocationSite, DsKind, InstanceId, InstanceInfo, Target, ThreadTag,
+    };
+
+    fn profile(kind: DsKind, events: Vec<AccessEvent>) -> RuntimeProfile {
+        RuntimeProfile::new(
+            InstanceInfo::new(InstanceId(0), AllocationSite::new("T", "m", 1), kind, "i64"),
+            events,
+        )
+    }
+
+    /// Simulate a binary-heap sift-down workload on a list of `n` slots.
+    fn heap_trace(n: u32, rounds: usize) -> Vec<AccessEvent> {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for r in 0..rounds {
+            // Walk root-to-leaf following left/right children.
+            let mut i = 0u32;
+            while 2 * i + 1 < n {
+                events.push(AccessEvent::at(seq, AccessKind::Read, i, n));
+                seq += 1;
+                i = if (r + i as usize) % 2 == 0 {
+                    2 * i + 1
+                } else {
+                    2 * i + 2
+                };
+            }
+            events.push(AccessEvent::at(seq, AccessKind::Read, i, n));
+            seq += 1;
+        }
+        events
+    }
+
+    #[test]
+    fn heap_walks_raise_list_as_tree() {
+        let advs = advisories(
+            &profile(DsKind::List, heap_trace(255, 40)),
+            &AdvisoryConfig::default(),
+        );
+        assert!(
+            matches!(advs.first(), Some(Advisory::ListAsTree { tree_hop_share, .. }) if *tree_hop_share > 0.5),
+            "{advs:?}"
+        );
+        assert!(advs[0].recommendation().contains("tree or heap"));
+    }
+
+    #[test]
+    fn sequential_scans_do_not_raise_list_as_tree() {
+        let events: Vec<_> = (0..500)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32 % 100, 100))
+            .collect();
+        let advs = advisories(&profile(DsKind::List, events), &AdvisoryConfig::default());
+        assert!(advs.is_empty(), "{advs:?}");
+    }
+
+    #[test]
+    fn search_dominated_lists_raise_list_as_map() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..20u32 {
+            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
+            seq += 1;
+        }
+        for _ in 0..200 {
+            events.push(AccessEvent {
+                seq,
+                nanos: seq,
+                kind: AccessKind::Search,
+                target: Target::Range { start: 0, end: 10 },
+                len: 20,
+                thread: ThreadTag::MAIN,
+            });
+            seq += 1;
+        }
+        let advs = advisories(&profile(DsKind::List, events), &AdvisoryConfig::default());
+        assert!(
+            matches!(
+                advs.first(),
+                Some(Advisory::ListAsMap { searches: 200, .. })
+            ),
+            "{advs:?}"
+        );
+    }
+
+    #[test]
+    fn nonlinear_structures_are_skipped() {
+        let advs = advisories(
+            &profile(DsKind::Dictionary, heap_trace(255, 40)),
+            &AdvisoryConfig::default(),
+        );
+        assert!(advs.is_empty());
+    }
+
+    #[test]
+    fn thresholds_gate_small_samples() {
+        // Only a handful of tree hops: below min_tree_hops.
+        let advs = advisories(
+            &profile(DsKind::List, heap_trace(15, 2)),
+            &AdvisoryConfig::default(),
+        );
+        assert!(advs.is_empty(), "{advs:?}");
+    }
+
+    #[test]
+    fn empty_profile_yields_nothing() {
+        let advs = advisories(&profile(DsKind::List, vec![]), &AdvisoryConfig::default());
+        assert!(advs.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # dsspy-usecases — use-case classification and recommended actions
+//!
+//! The empirical study distilled eight *generic use cases* from the mined
+//! access patterns (paper §III-B): a statement on how a data structure is
+//! used together with a recommendation on how to improve it. Five carry
+//! parallelization potential —
+//!
+//! * **Long-Insert (LI)** — parallelize the insert operation;
+//! * **Implement-Queue (IQ)** — employ a parallel queue as data container;
+//! * **Sort-After-Insert (SAI)** — insertion order is irrelevant, so
+//!   parallelize both insert and search phases;
+//! * **Frequent-Search (FS)** — employ a search-optimized (parallel) data
+//!   structure, or chunk the list and search in parallel;
+//! * **Frequent-Long-Read (FLR)** — a disguised search; transform it into a
+//!   parallel search operation;
+//!
+//! — and three are sequential optimizations: **Insert/Delete-Front (IDF)**
+//! (array churn → use a dynamic structure), **Stack-Implementation (SI)**
+//! (a list acting as a stack → use a stack) and **Write-Without-Read
+//! (WWR)** (end-of-life writes nobody reads → drop them).
+//!
+//! Every use case is a combination of access patterns, threshold values,
+//! and a recommended action. The thresholds live in [`Thresholds`] with the
+//! paper's §III-B values as defaults (the paper tuned them on its 23-program
+//! set); the classifier reports the *evidence* for every detection so the
+//! engineer can see what fired and why — the "trust" requirement of §I.
+
+#![warn(missing_docs)]
+
+pub mod advisories;
+pub mod classify;
+pub mod thresholds;
+pub mod tuning;
+pub mod usecase;
+
+pub use advisories::{advisories, Advisory, AdvisoryConfig};
+pub use classify::{classify, Evidence, UseCase};
+pub use thresholds::Thresholds;
+pub use tuning::{
+    best_by_f1, evaluate_thresholds, sweep_grid, LabeledProfile, Quality, SweepPoint,
+};
+pub use usecase::UseCaseKind;

@@ -1,0 +1,280 @@
+//! Threshold tuning: precision/recall over a labeled corpus.
+//!
+//! The paper tuned its threshold values on the 23-program evaluation set
+//! "to yield the best detection quality" (§III-B) and reports 66.67 %
+//! precision (§V). This module makes that workflow reproducible: score a
+//! [`Thresholds`] candidate against ground-truth labels, sweep a grid, and
+//! pick the best by F1.
+
+use dsspy_events::RuntimeProfile;
+use dsspy_patterns::{analyze, MinerConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::classify::classify;
+use crate::thresholds::Thresholds;
+use crate::usecase::UseCaseKind;
+
+/// One ground-truth-labeled profile.
+#[derive(Clone, Debug)]
+pub struct LabeledProfile {
+    /// The runtime profile.
+    pub profile: RuntimeProfile,
+    /// The parallel use cases an expert says it contains (multiset).
+    pub expected: Vec<UseCaseKind>,
+}
+
+/// Detection-quality counts and derived rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quality {
+    /// Detections matching a ground-truth label (per category, per
+    /// instance).
+    pub true_positives: usize,
+    /// Detections with no matching label.
+    pub false_positives: usize,
+    /// Labels with no matching detection.
+    pub false_negatives: usize,
+}
+
+impl Quality {
+    /// Fraction of detections that are correct (the paper's §V metric).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0; // nothing claimed, nothing wrong
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Fraction of ground truth that was found.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merge counts from another evaluation.
+    pub fn merge(&mut self, other: Quality) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Score one threshold setting against a labeled corpus.
+///
+/// Only the five parallel categories participate; per profile, detected and
+/// expected categories are matched as multisets.
+pub fn evaluate_thresholds(
+    corpus: &[LabeledProfile],
+    thresholds: &Thresholds,
+    miner: &MinerConfig,
+) -> Quality {
+    let mut q = Quality::default();
+    for labeled in corpus {
+        let analysis = analyze(&labeled.profile, miner);
+        let detected: Vec<UseCaseKind> = classify(&labeled.profile.instance, &analysis, thresholds)
+            .into_iter()
+            .map(|u| u.kind)
+            .filter(|k| k.is_parallel())
+            .collect();
+        let mut expected = labeled.expected.clone();
+        for d in detected {
+            if let Some(pos) = expected.iter().position(|e| *e == d) {
+                expected.remove(pos);
+                q.true_positives += 1;
+            } else {
+                q.false_positives += 1;
+            }
+        }
+        q.false_negatives += expected.len();
+    }
+    q
+}
+
+/// One point of a threshold sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The candidate setting.
+    pub thresholds: Thresholds,
+    /// A short label describing what was varied.
+    pub label: String,
+    /// Its measured quality.
+    pub quality: Quality,
+}
+
+/// Sweep the main Long-Insert / Frequent-Long-Read / Frequent-Search knobs
+/// over a grid around the paper's defaults and score every candidate.
+pub fn sweep_grid(corpus: &[LabeledProfile], miner: &MinerConfig) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for li_run in [25usize, 50, 100, 200, 400] {
+        for flr_pats in [3usize, 5, 10, 20] {
+            for li_share in [0.10f64, 0.30, 0.50] {
+                let t = Thresholds {
+                    li_min_run_len: li_run,
+                    sai_min_insert_run: li_run,
+                    li_min_phase_share: li_share,
+                    sai_min_phase_share: li_share,
+                    flr_min_read_patterns: flr_pats,
+                    ..Thresholds::default()
+                };
+                out.push(SweepPoint {
+                    thresholds: t,
+                    label: format!("li_run={li_run} li_share={li_share} flr_pats={flr_pats}"),
+                    quality: evaluate_thresholds(corpus, &t, miner),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The sweep point with the best F1 (ties: the earliest grid point wins).
+pub fn best_by_f1(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    let mut best: Option<&SweepPoint> = None;
+    for p in points {
+        match best {
+            Some(b) if b.quality.f1() >= p.quality.f1() => {}
+            _ => best = Some(p),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo};
+
+    fn li_profile(n: u32) -> RuntimeProfile {
+        let events: Vec<_> = (0..n)
+            .map(|i| AccessEvent::at(u64::from(i), AccessKind::Insert, i, i + 1))
+            .collect();
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("T", "li", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    fn noise_profile() -> RuntimeProfile {
+        let idxs = [9u32, 1, 7, 3, 0, 8, 2, 6, 4, 5];
+        let events: Vec<_> = idxs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| AccessEvent::at(s as u64, AccessKind::Read, i, 10))
+            .collect();
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(1),
+                AllocationSite::new("T", "noise", 2),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    fn corpus() -> Vec<LabeledProfile> {
+        vec![
+            LabeledProfile {
+                profile: li_profile(500),
+                expected: vec![UseCaseKind::LongInsert],
+            },
+            LabeledProfile {
+                profile: li_profile(40), // too short: must NOT be flagged
+                expected: vec![],
+            },
+            LabeledProfile {
+                profile: noise_profile(),
+                expected: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn defaults_are_perfect_on_the_toy_corpus() {
+        let q = evaluate_thresholds(&corpus(), &Thresholds::default(), &MinerConfig::default());
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 0);
+        assert_eq!(q.false_negatives, 0);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn strict_thresholds_lose_recall() {
+        let strict = Thresholds {
+            li_min_run_len: 10_000,
+            ..Thresholds::default()
+        };
+        let q = evaluate_thresholds(&corpus(), &strict, &MinerConfig::default());
+        assert_eq!(q.true_positives, 0);
+        assert_eq!(q.false_negatives, 1);
+        assert!(q.recall() < 1.0);
+        assert_eq!(q.precision(), 1.0, "claiming nothing is vacuously precise");
+    }
+
+    #[test]
+    fn lenient_thresholds_lose_precision() {
+        let lenient = Thresholds {
+            li_min_run_len: 10,
+            li_min_phase_share: 0.0,
+            ..Thresholds::default()
+        };
+        let q = evaluate_thresholds(&corpus(), &lenient, &MinerConfig::default());
+        assert_eq!(q.true_positives, 1);
+        assert!(q.false_positives >= 1, "the 40-element fill gets flagged");
+        assert!(q.precision() < 1.0);
+    }
+
+    #[test]
+    fn sweep_recovers_a_perfect_point() {
+        let points = sweep_grid(&corpus(), &MinerConfig::default());
+        assert_eq!(points.len(), 5 * 4 * 3);
+        let best = best_by_f1(&points).unwrap();
+        assert_eq!(best.quality.f1(), 1.0, "{}", best.label);
+        // The paper's default run length (100) is among the perfect points.
+        assert!(points
+            .iter()
+            .any(|p| p.thresholds.li_min_run_len == 100 && p.quality.f1() == 1.0));
+    }
+
+    #[test]
+    fn quality_merge_and_edge_rates() {
+        let mut a = Quality {
+            true_positives: 2,
+            false_positives: 1,
+            false_negatives: 1,
+        };
+        let b = Quality {
+            true_positives: 1,
+            false_positives: 0,
+            false_negatives: 2,
+        };
+        a.merge(b);
+        assert_eq!(a.true_positives, 3);
+        assert!((a.precision() - 0.75).abs() < 1e-12);
+        assert!((a.recall() - 0.5).abs() < 1e-12);
+        let empty = Quality::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The eight use-case categories and their recommended actions.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's eight use-case categories (§III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UseCaseKind {
+    /// LI — long insertion phases from either end of a linear structure.
+    LongInsert,
+    /// IQ — a list used like a queue (two-different-ends traffic).
+    ImplementQueue,
+    /// SAI — a sort follows a long insertion phase, so order is irrelevant.
+    SortAfterInsert,
+    /// FS — many explicit search operations on a linear structure.
+    FrequentSearch,
+    /// FLR — repeated long sequential reads: a disguised search.
+    FrequentLongRead,
+    /// IDF — insert/delete churn on a fixed-size array (copy overhead).
+    InsertDeleteFront,
+    /// SI — inserts and deletes always on a common end: a stack in disguise.
+    StackImplementation,
+    /// WWR — the profile ends with writes whose results are never read.
+    WriteWithoutRead,
+}
+
+impl UseCaseKind {
+    /// All eight categories, parallel ones first (the paper's ordering).
+    pub const ALL: [UseCaseKind; 8] = [
+        UseCaseKind::LongInsert,
+        UseCaseKind::ImplementQueue,
+        UseCaseKind::SortAfterInsert,
+        UseCaseKind::FrequentSearch,
+        UseCaseKind::FrequentLongRead,
+        UseCaseKind::InsertDeleteFront,
+        UseCaseKind::StackImplementation,
+        UseCaseKind::WriteWithoutRead,
+    ];
+
+    /// The five categories with parallelization potential.
+    pub const PARALLEL: [UseCaseKind; 5] = [
+        UseCaseKind::LongInsert,
+        UseCaseKind::ImplementQueue,
+        UseCaseKind::SortAfterInsert,
+        UseCaseKind::FrequentSearch,
+        UseCaseKind::FrequentLongRead,
+    ];
+
+    /// Whether this category carries parallel potential (vs. a sequential
+    /// optimization).
+    pub fn is_parallel(self) -> bool {
+        !matches!(
+            self,
+            UseCaseKind::InsertDeleteFront
+                | UseCaseKind::StackImplementation
+                | UseCaseKind::WriteWithoutRead
+        )
+    }
+
+    /// The paper's abbreviation (LI, IQ, SAI, FS, FLR, IDF, SI, WWR).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            UseCaseKind::LongInsert => "LI",
+            UseCaseKind::ImplementQueue => "IQ",
+            UseCaseKind::SortAfterInsert => "SAI",
+            UseCaseKind::FrequentSearch => "FS",
+            UseCaseKind::FrequentLongRead => "FLR",
+            UseCaseKind::InsertDeleteFront => "IDF",
+            UseCaseKind::StackImplementation => "SI",
+            UseCaseKind::WriteWithoutRead => "WWR",
+        }
+    }
+
+    /// The recommended action, verbatim from §III-B.
+    ///
+    /// ```
+    /// use dsspy_usecases::UseCaseKind;
+    /// assert_eq!(
+    ///     UseCaseKind::LongInsert.recommended_action(),
+    ///     "Parallelize the insert operation."
+    /// );
+    /// ```
+    pub fn recommended_action(self) -> &'static str {
+        match self {
+            UseCaseKind::LongInsert => "Parallelize the insert operation.",
+            UseCaseKind::ImplementQueue => "Employ a parallel queue as data container.",
+            UseCaseKind::SortAfterInsert => {
+                "The insertion order is not important: parallelize both the insert and \
+                 the search phases."
+            }
+            UseCaseKind::FrequentSearch => {
+                "Either employ a parallel data structure that is optimized for searches, \
+                 or parallelize the search operation by splitting the list into smaller \
+                 chunks and searching them in parallel."
+            }
+            UseCaseKind::FrequentLongRead => {
+                "Check the origin of this access. If it contains a program loop that \
+                 looks for a specific element, transform it into a parallel search \
+                 operation."
+            }
+            UseCaseKind::InsertDeleteFront => {
+                "Insert and delete patterns alternate on a fixed-size array, causing \
+                 copy overhead on every resize: a dynamic data structure like a list \
+                 might be better suited."
+            }
+            UseCaseKind::StackImplementation => {
+                "Insert and delete operations always access a common end: analyze the \
+                 data structure and consider using a stack implementation."
+            }
+            UseCaseKind::WriteWithoutRead => {
+                "The profile ends with write accesses that are never read — this \
+                 resembles manual cleanup/deallocation. Check whether these writes are \
+                 necessary; garbage collection/Drop should handle end-of-life."
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for UseCaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UseCaseKind::LongInsert => "Long-Insert",
+            UseCaseKind::ImplementQueue => "Implement-Queue",
+            UseCaseKind::SortAfterInsert => "Sort-After-Insert",
+            UseCaseKind::FrequentSearch => "Frequent-Search",
+            UseCaseKind::FrequentLongRead => "Frequent-Long-Read",
+            UseCaseKind::InsertDeleteFront => "Insert/Delete-Front",
+            UseCaseKind::StackImplementation => "Stack-Implementation",
+            UseCaseKind::WriteWithoutRead => "Write-Without-Read",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_of_eight_are_parallel() {
+        assert_eq!(
+            UseCaseKind::ALL.iter().filter(|u| u.is_parallel()).count(),
+            5
+        );
+        for u in UseCaseKind::PARALLEL {
+            assert!(u.is_parallel());
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(UseCaseKind::LongInsert.abbrev(), "LI");
+        assert_eq!(UseCaseKind::ImplementQueue.abbrev(), "IQ");
+        assert_eq!(UseCaseKind::SortAfterInsert.abbrev(), "SAI");
+        assert_eq!(UseCaseKind::FrequentSearch.abbrev(), "FS");
+        assert_eq!(UseCaseKind::FrequentLongRead.abbrev(), "FLR");
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(
+            UseCaseKind::FrequentLongRead.to_string(),
+            "Frequent-Long-Read"
+        );
+        assert_eq!(
+            UseCaseKind::StackImplementation.to_string(),
+            "Stack-Implementation"
+        );
+    }
+
+    #[test]
+    fn every_kind_has_an_action() {
+        for u in UseCaseKind::ALL {
+            assert!(!u.recommended_action().is_empty());
+        }
+    }
+}

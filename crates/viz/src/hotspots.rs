@@ -1,0 +1,253 @@
+//! Index hotspot histograms: *where* in the structure the traffic lands.
+//!
+//! The profile charts answer "when"; this view answers "where": access
+//! counts per index band, split by read/write class. End-concentrated
+//! histograms are the visual form of the Implement-Queue and
+//! Stack-Implementation signatures; flat ones back Frequent-Long-Read.
+
+use dsspy_events::{AccessClass, RuntimeProfile};
+
+use crate::palette;
+use crate::svg::SvgDoc;
+
+/// Per-band access counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IndexHistogram {
+    /// Band width in index units.
+    pub band_width: u32,
+    /// `(reads, writes)` per band, ascending by index.
+    pub bands: Vec<(usize, usize)>,
+}
+
+/// Build the histogram with `bands` equal index bands over the structure's
+/// maximum observed length.
+pub fn index_histogram(profile: &RuntimeProfile, bands: usize) -> IndexHistogram {
+    let bands = bands.max(1);
+    let max_len = profile.max_len().max(1);
+    let band_width = max_len.div_ceil(bands as u32).max(1);
+    let mut hist = IndexHistogram {
+        band_width,
+        bands: vec![(0, 0); bands],
+    };
+    for e in &profile.events {
+        let Some(i) = e.index() else { continue };
+        let slot = ((i / band_width) as usize).min(bands - 1);
+        match e.class() {
+            AccessClass::Read => hist.bands[slot].0 += 1,
+            AccessClass::Write => hist.bands[slot].1 += 1,
+        }
+    }
+    hist
+}
+
+impl IndexHistogram {
+    /// Total accesses counted.
+    pub fn total(&self) -> usize {
+        self.bands.iter().map(|(r, w)| r + w).sum()
+    }
+
+    /// Fraction of traffic in the first and last bands combined — the
+    /// "ends" concentration behind IQ/SI.
+    pub fn end_concentration(&self) -> f64 {
+        let total = self.total();
+        if total == 0 || self.bands.len() < 2 {
+            return if total > 0 { 1.0 } else { 0.0 };
+        }
+        let first = self.bands.first().map(|(r, w)| r + w).unwrap_or(0);
+        let last = self.bands.last().map(|(r, w)| r + w).unwrap_or(0);
+        (first + last) as f64 / total as f64
+    }
+
+    /// Render as an aligned text table with proportional bars.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let max = self
+            .bands
+            .iter()
+            .map(|(r, w)| r + w)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = String::from("index band      reads   writes  total\n");
+        for (b, (r, w)) in self.bands.iter().enumerate() {
+            let lo = b as u32 * self.band_width;
+            let hi = lo + self.band_width - 1;
+            let bar_len = ((r + w) * 30).div_ceil(max);
+            let _ = writeln!(
+                out,
+                "[{lo:>5}..{hi:>5}] {r:>7} {w:>8} {:>6} |{}",
+                r + w,
+                "#".repeat(bar_len)
+            );
+        }
+        out
+    }
+
+    /// Render as a grouped-bar SVG (reads and writes side by side per band,
+    /// legend with text labels).
+    pub fn render_svg(&self, title: &str) -> String {
+        const MARGIN_L: f64 = 50.0;
+        const MARGIN_T: f64 = 34.0;
+        const PLOT_H: f64 = 180.0;
+        const BAND_W: f64 = 26.0;
+
+        let n = self.bands.len().max(1);
+        let width = (MARGIN_L + n as f64 * BAND_W + 20.0).ceil() as u32;
+        let height = (MARGIN_T + PLOT_H + 64.0).ceil() as u32;
+        let max = self
+            .bands
+            .iter()
+            .map(|(r, w)| (*r).max(*w))
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+
+        let mut doc = SvgDoc::new(width, height, palette::SURFACE);
+        doc.text(MARGIN_L, 20.0, 13.0, palette::TEXT_PRIMARY, "start", title);
+        for (b, (r, w)) in self.bands.iter().enumerate() {
+            let x = MARGIN_L + b as f64 * BAND_W;
+            let rh = PLOT_H * *r as f64 / max;
+            let wh = PLOT_H * *w as f64 / max;
+            if *r > 0 {
+                doc.rect(
+                    x,
+                    MARGIN_T + PLOT_H - rh,
+                    BAND_W / 2.0 - 1.0,
+                    rh,
+                    palette::READ,
+                    Some(1.5),
+                );
+            }
+            if *w > 0 {
+                doc.rect(
+                    x + BAND_W / 2.0,
+                    MARGIN_T + PLOT_H - wh,
+                    BAND_W / 2.0 - 1.0,
+                    wh,
+                    palette::WRITE,
+                    Some(1.5),
+                );
+            }
+        }
+        doc.line(
+            MARGIN_L,
+            MARGIN_T + PLOT_H,
+            MARGIN_L + n as f64 * BAND_W,
+            MARGIN_T + PLOT_H,
+            palette::TEXT_SECONDARY,
+            1.0,
+        );
+        doc.text(
+            MARGIN_L + n as f64 * BAND_W / 2.0,
+            MARGIN_T + PLOT_H + 16.0,
+            10.0,
+            palette::TEXT_SECONDARY,
+            "middle",
+            &format!("index bands (width {})", self.band_width),
+        );
+        // Legend with visible labels.
+        doc.rect(
+            MARGIN_L,
+            MARGIN_T + PLOT_H + 30.0,
+            10.0,
+            10.0,
+            palette::READ,
+            Some(2.0),
+        );
+        doc.text(
+            MARGIN_L + 14.0,
+            MARGIN_T + PLOT_H + 39.0,
+            10.0,
+            palette::TEXT_PRIMARY,
+            "start",
+            "reads",
+        );
+        doc.rect(
+            MARGIN_L + 70.0,
+            MARGIN_T + PLOT_H + 30.0,
+            10.0,
+            10.0,
+            palette::WRITE,
+            Some(2.0),
+        );
+        doc.text(
+            MARGIN_L + 84.0,
+            MARGIN_T + PLOT_H + 39.0,
+            10.0,
+            palette::TEXT_PRIMARY,
+            "start",
+            "writes",
+        );
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo};
+
+    fn profile(events: Vec<AccessEvent>) -> RuntimeProfile {
+        RuntimeProfile::new(
+            InstanceInfo::new(
+                InstanceId(0),
+                AllocationSite::new("H", "m", 1),
+                DsKind::List,
+                "i32",
+            ),
+            events,
+        )
+    }
+
+    #[test]
+    fn histogram_counts_by_band_and_class() {
+        let mut events = Vec::new();
+        // 100-long structure; reads at 0..10, writes at 90..100.
+        for i in 0..10u64 {
+            events.push(AccessEvent::at(i, AccessKind::Read, i as u32, 100));
+            events.push(AccessEvent::at(
+                100 + i,
+                AccessKind::Write,
+                90 + i as u32,
+                100,
+            ));
+        }
+        let h = index_histogram(&profile(events), 10);
+        assert_eq!(h.band_width, 10);
+        assert_eq!(h.bands[0], (10, 0));
+        assert_eq!(h.bands[9], (0, 10));
+        assert_eq!(h.total(), 20);
+        assert!((h.end_concentration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_traffic_has_low_end_concentration() {
+        let events: Vec<_> = (0..100u64)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, i as u32, 100))
+            .collect();
+        let h = index_histogram(&profile(events), 10);
+        assert!((h.end_concentration() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_text_and_svg() {
+        let events: Vec<_> = (0..50u64)
+            .map(|i| AccessEvent::at(i, AccessKind::Read, (i % 20) as u32, 20))
+            .collect();
+        let h = index_histogram(&profile(events), 5);
+        let text = h.render_text();
+        assert!(text.contains("reads"));
+        assert!(text.contains('#'));
+        let svg = h.render_svg("hotspots");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("reads") && svg.contains("writes"));
+    }
+
+    #[test]
+    fn empty_profile_histogram() {
+        let h = index_histogram(&profile(vec![]), 8);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.end_concentration(), 0.0);
+        assert!(h.render_text().contains("index band"));
+    }
+}

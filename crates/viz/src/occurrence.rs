@@ -1,0 +1,255 @@
+//! Occurrence charts — the paper's Fig. 1.
+//!
+//! A stacked bar per program: counts of data-structure instances by kind,
+//! in the fixed slot order List / Dictionary / ArrayList / Stack / Queue /
+//! Rest. The text twin renders the same data as an aligned table (the
+//! accessibility table view).
+
+use dsspy_events::DsKind;
+
+use crate::palette::{self, KIND_SERIES};
+use crate::svg::SvgDoc;
+
+/// Per-program occurrence data: one bar of the Fig. 1 chart.
+#[derive(Clone, Debug)]
+pub struct OccurrenceRow {
+    /// Program name (x-axis label).
+    pub program: String,
+    /// Application domain (used to group labels, as Fig. 1 does).
+    pub domain: String,
+    /// Instance counts in slot order (List, Dictionary, ArrayList, Stack,
+    /// Queue, Rest).
+    pub counts: [usize; 6],
+}
+
+impl OccurrenceRow {
+    /// Build a row from raw per-kind counts, folding infrequent kinds into
+    /// the "Rest" slot exactly like the paper's Fig. 1.
+    pub fn from_kind_counts(
+        program: impl Into<String>,
+        domain: impl Into<String>,
+        kinds: &[(DsKind, usize)],
+    ) -> OccurrenceRow {
+        let mut counts = [0usize; 6];
+        for &(kind, n) in kinds {
+            let slot_name = palette::kind_slot(kind).0;
+            let slot = KIND_SERIES
+                .iter()
+                .position(|(name, _)| *name == slot_name)
+                .expect("slot exists");
+            counts[slot] += n;
+        }
+        OccurrenceRow {
+            program: program.into(),
+            domain: domain.into(),
+            counts,
+        }
+    }
+
+    /// Total instances in this program.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Render the occurrence data as an aligned text table with per-kind totals
+/// (the Σ values the paper prints in the Fig. 1 legend).
+pub fn occurrence_table(rows: &[OccurrenceRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let name_w = rows
+        .iter()
+        .map(|r| r.program.len())
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let _ = write!(out, "{:<name_w$}  {:<12}", "program", "domain");
+    for (name, _) in KIND_SERIES {
+        let _ = write!(out, " {name:>10}");
+    }
+    let _ = writeln!(out, " {:>7}", "total");
+    let mut totals = [0usize; 6];
+    for r in rows {
+        let _ = write!(out, "{:<name_w$}  {:<12}", r.program, r.domain);
+        for (i, c) in r.counts.iter().enumerate() {
+            totals[i] += c;
+            let _ = write!(out, " {c:>10}");
+        }
+        let _ = writeln!(out, " {:>7}", r.total());
+    }
+    let _ = write!(out, "{:<name_w$}  {:<12}", "Σ", "");
+    for t in totals {
+        let _ = write!(out, " {t:>10}");
+    }
+    let _ = writeln!(out, " {:>7}", totals.iter().sum::<usize>());
+    out
+}
+
+/// Render the occurrence data as a stacked-bar SVG (Fig. 1 form): one bar
+/// per program, stacked segments in fixed slot order with 2px surface gaps,
+/// a legend with visible labels, and domain-grouped x labels.
+pub fn occurrence_svg(rows: &[OccurrenceRow]) -> String {
+    const MARGIN_L: f64 = 46.0;
+    const MARGIN_R: f64 = 12.0;
+    const MARGIN_T: f64 = 34.0;
+    const MARGIN_B: f64 = 96.0;
+    const PLOT_H: f64 = 240.0;
+    const BAR_W: f64 = 18.0;
+    const BAR_GAP: f64 = 8.0;
+
+    let n = rows.len().max(1);
+    let plot_w = n as f64 * (BAR_W + BAR_GAP);
+    let width = (MARGIN_L + plot_w + MARGIN_R).ceil() as u32;
+    let height = (MARGIN_T + PLOT_H + MARGIN_B).ceil() as u32;
+    let max_total = rows.iter().map(|r| r.total()).max().unwrap_or(1).max(1) as f64;
+
+    let mut doc = SvgDoc::new(width, height, palette::SURFACE);
+    doc.text(
+        MARGIN_L,
+        20.0,
+        13.0,
+        palette::TEXT_PRIMARY,
+        "start",
+        "Data structure occurrence by program",
+    );
+    for q in 0..=4u32 {
+        let y = MARGIN_T + PLOT_H * f64::from(q) / 4.0;
+        doc.line(MARGIN_L, y, MARGIN_L + plot_w, y, "#ecebe8", 1.0);
+        doc.text(
+            MARGIN_L - 6.0,
+            y + 4.0,
+            10.0,
+            palette::TEXT_SECONDARY,
+            "end",
+            &format!("{}", (max_total * f64::from(4 - q) / 4.0).round()),
+        );
+    }
+
+    for (i, row) in rows.iter().enumerate() {
+        let x = MARGIN_L + i as f64 * (BAR_W + BAR_GAP);
+        let mut y = MARGIN_T + PLOT_H;
+        for (slot, &count) in row.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let h = PLOT_H * count as f64 / max_total;
+            // 2px surface gap between stacked segments.
+            let seg_h = (h - 2.0).max(1.0);
+            y -= h;
+            doc.rect(x, y + 1.0, BAR_W, seg_h, KIND_SERIES[slot].1, Some(1.5));
+        }
+        // Rotated program labels are overkill for the SVG builder; use
+        // short diagonal-free labels under alternating rows.
+        let label_y = MARGIN_T + PLOT_H + 14.0 + (i % 2) as f64 * 12.0;
+        let short: String = row.program.chars().take(12).collect();
+        doc.text(
+            x + BAR_W / 2.0,
+            label_y,
+            8.0,
+            palette::TEXT_SECONDARY,
+            "middle",
+            &short,
+        );
+    }
+
+    doc.line(
+        MARGIN_L,
+        MARGIN_T + PLOT_H,
+        MARGIN_L + plot_w,
+        MARGIN_T + PLOT_H,
+        palette::TEXT_SECONDARY,
+        1.0,
+    );
+
+    // Legend with per-kind totals (the paper's "List (Σ: 1.275)" style).
+    let mut totals = [0usize; 6];
+    for r in rows {
+        for (i, c) in r.counts.iter().enumerate() {
+            totals[i] += c;
+        }
+    }
+    let mut lx = MARGIN_L;
+    let ly = MARGIN_T + PLOT_H + 52.0;
+    for (slot, (name, color)) in KIND_SERIES.iter().enumerate() {
+        let label = format!("{name} (\u{3a3}: {})", totals[slot]);
+        doc.rect(lx, ly - 8.0, 10.0, 10.0, color, Some(2.0));
+        doc.text(lx + 14.0, ly, 10.0, palette::TEXT_PRIMARY, "start", &label);
+        lx += 14.0 + 6.2 * label.len() as f64 + 16.0;
+    }
+
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<OccurrenceRow> {
+        vec![
+            OccurrenceRow::from_kind_counts(
+                "dotspatial",
+                "DS lib",
+                &[
+                    (DsKind::List, 400),
+                    (DsKind::Dictionary, 120),
+                    (DsKind::ArrayList, 80),
+                    (DsKind::HashSet, 30),
+                    (DsKind::SortedList, 33),
+                ],
+            ),
+            OccurrenceRow::from_kind_counts("zedgraph", "Vis", &[(DsKind::List, 2)]),
+        ]
+    }
+
+    #[test]
+    fn rest_folding() {
+        let r = &rows()[0];
+        assert_eq!(r.counts[0], 400, "List slot");
+        assert_eq!(r.counts[1], 120, "Dictionary slot");
+        assert_eq!(r.counts[2], 80, "ArrayList slot");
+        assert_eq!(r.counts[5], 63, "HashSet+SortedList fold into Rest");
+        assert_eq!(r.total(), 663);
+    }
+
+    #[test]
+    fn table_has_totals_row() {
+        let table = occurrence_table(&rows());
+        assert!(table.contains("dotspatial"));
+        assert!(table.contains("Σ"));
+        assert!(table.contains("402"), "List column total 400+2:\n{table}");
+        assert!(table.contains("665"), "grand total");
+    }
+
+    #[test]
+    fn svg_has_legend_with_totals() {
+        let svg = occurrence_svg(&rows());
+        assert!(svg.contains("List (Σ: 402)"));
+        assert!(svg.contains("Rest (Σ: 63)"));
+        for (_, color) in KIND_SERIES {
+            assert!(svg.contains(color), "{color} in legend");
+        }
+    }
+
+    #[test]
+    fn empty_rows_render() {
+        let table = occurrence_table(&[]);
+        assert!(table.contains("program"));
+        let svg = occurrence_svg(&[]);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn zero_count_slots_emit_no_segment() {
+        let one = vec![OccurrenceRow::from_kind_counts(
+            "tiny",
+            "Game",
+            &[(DsKind::List, 5)],
+        )];
+        let svg = occurrence_svg(&one);
+        // Surface + grid rects... count colored segment rects by their color.
+        assert!(svg.contains(KIND_SERIES[0].1));
+        // Queue color appears only in the legend swatch (1 rect), not as a bar.
+        let queue_color = KIND_SERIES[4].1;
+        assert_eq!(svg.matches(queue_color).count(), 1);
+    }
+}

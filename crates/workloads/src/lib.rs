@@ -1,0 +1,157 @@
+//! # dsspy-workloads — the benchmark programs of the evaluation
+//!
+//! The paper evaluates DSspy on real C# programs. Those programs (and the
+//! .NET runtime they need) are not available here, so this crate
+//! re-implements them as deterministic Rust workloads with the same
+//! data-structure choreography (see DESIGN.md §1 for the substitution
+//! argument):
+//!
+//! * [`programs`] — the seven executable programs of Table IV
+//!   (Algorithmia, AstroGrep, ContentFinder, CPU Benchmarks = Linpack +
+//!   Whetstone, GPdotNET, Mandelbrot, WordWheelSolver), each runnable
+//!   **plain** (ghost mode, the slowdown baseline), **instrumented**
+//!   (Spy collections under a live session) and **parallel** (following
+//!   DSspy's recommended actions). All three variants of a program compute
+//!   the same checksum, which the tests verify.
+//! * [`traces`] — parameterized runtime-profile generators producing the
+//!   pattern/use-case shapes of §III.
+//! * [`suite15`] — the 15-program corpus of Table II (recurring
+//!   regularities), calibrated to the paper's per-program counts.
+//! * [`suite23`] — the 23-program corpus of Table III (66 use cases by
+//!   category), calibrated to the paper's row and column totals.
+
+#![warn(missing_docs)]
+
+pub mod programs;
+pub mod sequential_demos;
+pub mod suite15;
+pub mod suite23;
+pub mod traces;
+
+use dsspy_collect::Session;
+use dsspy_core::RuntimeFractions;
+
+/// How large a workload run should be.
+///
+/// `Test` keeps debug-build test times reasonable; `Full` is the bench
+/// scale where parallel speedups and slowdown factors are meaningful.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests.
+    Test,
+    /// Evaluation-sized inputs for benches and the repro harness.
+    Full,
+}
+
+/// Which variant of a workload to run.
+pub enum Mode<'a> {
+    /// Ghost-mode Spy collections: the plain-runtime baseline of Table IV.
+    Plain,
+    /// Instrumented against a live session: what DSspy profiles.
+    Instrumented(&'a Session),
+    /// The recommendation-following parallel version, on `n` threads.
+    Parallel(usize),
+}
+
+/// Static facts about a workload, echoing Table IV's descriptive columns.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Program name as the paper spells it.
+    pub name: &'static str,
+    /// Application domain (Table IV's "Domain" column).
+    pub domain: &'static str,
+    /// The original program's size in LOC (Table IV; reported, not ours).
+    pub paper_loc: usize,
+    /// Data-structure instances the paper counted in it (Table IV).
+    pub paper_instances: usize,
+    /// Use cases DSspy found in the paper's run, as `(true_positives,
+    /// detected)` — Table IV's "Use Cases" column (e.g. `(2, 4)`).
+    pub paper_use_cases: (usize, usize),
+    /// The paper's measured total speedup for this program.
+    pub paper_speedup: f64,
+}
+
+/// One of the seven evaluation programs.
+pub trait Workload: Sync {
+    /// Descriptive facts (paper-reported columns of Table IV).
+    fn spec(&self) -> WorkloadSpec;
+
+    /// Execute the workload in the given mode and return a checksum of its
+    /// result. All modes of one workload at one scale produce the same
+    /// checksum — that is the correctness contract the tests enforce.
+    fn run(&self, scale: Scale, mode: Mode<'_>) -> u64;
+
+    /// Sequential vs. parallelizable runtime split (Table VI). Returns
+    /// `None` for programs the paper does not list there.
+    fn fractions(&self, _scale: Scale) -> Option<RuntimeFractions> {
+        None
+    }
+}
+
+/// The seven programs of Table IV, in the paper's row order.
+pub fn suite7() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(programs::algorithmia::Algorithmia),
+        Box::new(programs::astrogrep::AstroGrep),
+        Box::new(programs::contentfinder::ContentFinder),
+        Box::new(programs::cpu_benchmarks::CpuBenchmarks),
+        Box::new(programs::gpdotnet::GpDotNet),
+        Box::new(programs::mandelbrot::Mandelbrot),
+        Box::new(programs::wordwheel::WordWheelSolver),
+    ]
+}
+
+/// FNV-1a, the checksum all workloads fold their results through.
+pub fn fnv1a(acc: u64, value: u64) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = acc ^ value;
+    h = h.wrapping_mul(PRIME);
+    h
+}
+
+/// Fold an iterator of words into one checksum.
+pub fn checksum(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325;
+    for v in values {
+        h = fnv1a(h, v);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite7_matches_table_iv_rows() {
+        let suite = suite7();
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|w| w.spec().name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Algorithmia",
+                "Astrogrep",
+                "Contentfinder",
+                "CPU Benchmarks",
+                "Gpdotnet",
+                "Mandelbrot",
+                "WordWheelSolver"
+            ]
+        );
+        // Table IV totals: 104 instances, 16 of 24 true-positive use cases.
+        let instances: usize = suite.iter().map(|w| w.spec().paper_instances).sum();
+        assert_eq!(instances, 104);
+        let detected: usize = suite.iter().map(|w| w.spec().paper_use_cases.1).sum();
+        assert_eq!(detected, 24);
+        let tp: usize = suite.iter().map(|w| w.spec().paper_use_cases.0).sum();
+        assert_eq!(tp, 16);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum([1, 2, 3]), checksum([3, 2, 1]));
+        assert_eq!(checksum([1, 2, 3]), checksum([1, 2, 3]));
+        assert_ne!(checksum([]), checksum([0]));
+    }
+}

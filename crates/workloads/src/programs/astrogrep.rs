@@ -1,0 +1,223 @@
+//! AstroGrep — the file-search utility (Table IV row 2).
+//!
+//! AstroGrep greps a directory tree for a set of query strings. Here the
+//! "files" are a synthesized corpus of text lines held in a list that every
+//! query scans end-to-end (Frequent-Long-Read on the line store), with hits
+//! accumulated into a results list (Long-Insert). The paper measured its
+//! best per-program speedup (2.90) on exactly this search parallelization.
+//!
+//! Instances (21, as in Table IV): the line store (FLR), the results list
+//! (LI), and 19 benign structures (per-file metadata lists, extension
+//! filters, option maps — the long tail a real grep tool carries).
+//! Expected use cases: 2.
+
+use dsspy_collect::Session;
+use dsspy_core::RuntimeFractions;
+use dsspy_parallel::par_find_all;
+
+use crate::programs::{list, map, Rng64};
+use crate::{checksum, Mode, Scale, Workload, WorkloadSpec};
+
+/// The AstroGrep workload.
+pub struct AstroGrep;
+
+const CLASS: &str = "AstroGrep.Core";
+
+fn config(scale: Scale) -> (usize, usize) {
+    // (corpus lines, number of queries)
+    match scale {
+        Scale::Test => (800, 12),
+        Scale::Full => (80_000, 12),
+    }
+}
+
+const WORDS: [&str; 12] = [
+    "galaxy", "nebula", "quasar", "pulsar", "comet", "meteor", "planet", "orbit", "stellar",
+    "cosmic", "photon", "parsec",
+];
+
+/// One synthesized corpus line of 6 pseudo-random words.
+fn make_line(rng: &mut Rng64) -> String {
+    let mut line = String::new();
+    for k in 0..6 {
+        if k > 0 {
+            line.push(' ');
+        }
+        line.push_str(WORDS[rng.below(WORDS.len() as u64) as usize]);
+    }
+    line
+}
+
+/// The queries: every other one matches often, the rest rarely.
+fn queries() -> Vec<&'static str> {
+    vec![
+        "galaxy",
+        "warpdrive",
+        "nebula",
+        "quasar",
+        "darkmatter",
+        "pulsar",
+        "comet",
+        "axion",
+        "meteor",
+        "planet",
+        "orbit",
+        "stellar",
+    ]
+}
+
+impl AstroGrep {
+    fn sequential(&self, scale: Scale, session: Option<&Session>) -> u64 {
+        let (corpus_lines, _) = config(scale);
+        let mut rng = Rng64(0xA57_06EE7);
+
+        // The long tail of real-tool state: 19 benign instances.
+        // 8 per-"file" metadata lists (one per simulated file chunk) ...
+        let files = 8;
+        let lines_per_file = corpus_lines / files;
+        let mut file_meta: Vec<_> = (0..files)
+            .map(|f| list::<u64>(session, CLASS, "ScanDirectory", 100 + f as u32))
+            .collect();
+        // ... an extension filter list, option map, and 9 small helpers.
+        let mut extensions = list::<&str>(session, CLASS, "LoadFilters", 30);
+        for e in [".txt", ".cs", ".md", ".log"] {
+            extensions.add(e);
+        }
+        let mut options = map::<&str, bool>(session, CLASS, "LoadOptions", 38);
+        options.insert("case_sensitive", false);
+        options.insert("whole_word", false);
+        let mut helpers: Vec<_> = (0..9)
+            .map(|h| list::<u32>(session, CLASS, "InitBuffers", 200 + h as u32))
+            .collect();
+        for (h, helper) in helpers.iter_mut().enumerate() {
+            for v in 0..(3 + h as u32 % 4) {
+                helper.add(v);
+            }
+        }
+
+        // The line store: loaded once, then fully scanned per query → FLR.
+        let mut line_store = list::<String>(session, CLASS, "LoadCorpus", 52);
+        for f in 0..files {
+            let mut size = 0u64;
+            for _ in 0..lines_per_file {
+                let line = make_line(&mut rng);
+                size += line.len() as u64;
+                line_store.add(line);
+            }
+            file_meta[f].add(size);
+        }
+
+        // The hit list: grows throughout the whole search phase → LI.
+        let mut results = list::<u64>(session, CLASS, "CollectHits", 64);
+        for (qi, q) in queries().iter().enumerate() {
+            for li in 0..line_store.len() {
+                if line_store.get(li).contains(q) {
+                    results.add((qi as u64) << 32 | li as u64);
+                }
+            }
+        }
+
+        checksum(results.raw().iter().copied())
+    }
+
+    fn parallel(&self, scale: Scale, threads: usize) -> u64 {
+        let (corpus_lines, _) = config(scale);
+        let mut rng = Rng64(0xA57_06EE7);
+        let files = 8;
+        let lines_per_file = corpus_lines / files;
+        let line_store: Vec<String> = (0..files * lines_per_file)
+            .map(|_| make_line(&mut rng))
+            .collect();
+
+        // Recommended action: chunk the line store and search in parallel.
+        let mut results: Vec<u64> = Vec::new();
+        for (qi, q) in queries().iter().enumerate() {
+            let hits = par_find_all(&line_store, threads, |line| line.contains(q));
+            results.extend(hits.into_iter().map(|li| (qi as u64) << 32 | li as u64));
+        }
+
+        checksum(results.iter().copied())
+    }
+}
+
+impl Workload for AstroGrep {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "Astrogrep",
+            domain: "File Search",
+            paper_loc: 4_800,
+            paper_instances: 21,
+            paper_use_cases: (1, 2),
+            paper_speedup: 2.90,
+        }
+    }
+
+    fn run(&self, scale: Scale, mode: Mode<'_>) -> u64 {
+        match mode {
+            Mode::Plain => self.sequential(scale, None),
+            Mode::Instrumented(session) => self.sequential(scale, Some(session)),
+            Mode::Parallel(threads) => self.parallel(scale, threads),
+        }
+    }
+
+    fn fractions(&self, scale: Scale) -> Option<RuntimeFractions> {
+        let (corpus_lines, _) = config(scale);
+        let seq = std::time::Instant::now();
+        let mut rng = Rng64(0xA57_06EE7);
+        let line_store: Vec<String> = (0..corpus_lines).map(|_| make_line(&mut rng)).collect();
+        let sequential_nanos = seq.elapsed().as_nanos() as u64;
+        let par = std::time::Instant::now();
+        let mut hits = 0usize;
+        for q in queries() {
+            hits += line_store.iter().filter(|l| l.contains(q)).count();
+        }
+        std::hint::black_box(hits);
+        let parallelizable_nanos = par.elapsed().as_nanos() as u64;
+        Some(RuntimeFractions {
+            sequential_nanos,
+            parallelizable_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_core::Dsspy;
+    use dsspy_usecases::UseCaseKind;
+
+    #[test]
+    fn all_modes_agree() {
+        let w = AstroGrep;
+        let plain = w.run(Scale::Test, Mode::Plain);
+        let session = Session::new();
+        let instrumented = w.run(Scale::Test, Mode::Instrumented(&session));
+        drop(session);
+        let parallel = w.run(Scale::Test, Mode::Parallel(4));
+        assert_eq!(plain, instrumented);
+        assert_eq!(plain, parallel);
+    }
+
+    #[test]
+    fn instrumented_run_matches_table_iv_shape() {
+        let report = Dsspy::new().profile(|session| {
+            AstroGrep.run(Scale::Test, Mode::Instrumented(session));
+        });
+        assert_eq!(report.instance_count(), 21, "Table IV: 21 data structures");
+        let cases = report.all_use_cases();
+        let got: Vec<_> = cases
+            .iter()
+            .map(|c| (c.kind, c.instance.site.method.clone()))
+            .collect();
+        assert_eq!(cases.len(), 2, "Table IV: 2 use cases: {got:?}");
+        assert!(cases
+            .iter()
+            .any(|c| c.kind == UseCaseKind::FrequentLongRead
+                && c.instance.site.method == "LoadCorpus"));
+        assert!(cases
+            .iter()
+            .any(|c| c.kind == UseCaseKind::LongInsert && c.instance.site.method == "CollectHits"));
+        // Paper: 90.48 % reduction (2 of 21).
+        assert!((report.use_case_reduction() - 0.9048).abs() < 0.01);
+    }
+}

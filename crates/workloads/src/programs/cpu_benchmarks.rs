@@ -1,0 +1,297 @@
+//! CPU Benchmarks — Linpack + Whetstone behind one UI (Table IV row 4).
+//!
+//! "CPU Benchmarks is a typical benchmark suite for CPU computations and
+//! combines the two commonly known benchmarks Linpack and Whetstone" (§V).
+//! It is the paper's Amdahl counter-example: DSspy finds use cases, but
+//! 94.29 % of the runtime is inherently sequential scalar computation
+//! (Table VI), so following the recommendations only yields 1.20.
+//!
+//! Instances (7, as in Table IV): the Linpack matrix and right-hand side
+//! (LI fills), the solution vector (FLR via back-substitution scans), the
+//! Whetstone `e1` array (FLR via its read-heavy module), a results log
+//! (LI), plus a timer list and a parameter list (benign). Expected use
+//! cases: 5.
+
+use dsspy_collect::Session;
+use dsspy_core::RuntimeFractions;
+use dsspy_parallel::par_for_init;
+
+use crate::programs::{array, list};
+use crate::{checksum, Mode, Scale, Workload, WorkloadSpec};
+
+/// The CPU Benchmarks workload.
+pub struct CpuBenchmarks;
+
+const CLASS: &str = "CpuBenchmarks.Suite";
+
+fn config(scale: Scale) -> (usize, u32) {
+    // (linpack n, whetstone outer iterations)
+    match scale {
+        Scale::Test => (100, 400),
+        Scale::Full => (250, 40_000),
+    }
+}
+
+/// Deterministic matrix entry.
+fn mat_entry(i: usize, j: usize) -> f64 {
+    let x = ((i * 131 + j * 31 + 7) % 1000) as f64 / 500.0 - 1.0;
+    if i == j {
+        x + 8.0 // diagonal dominance keeps elimination stable
+    } else {
+        x
+    }
+}
+
+/// The Whetstone-style scalar kernel (module 8: trig-ish transcendental
+/// work). Pure sequential compute — the 94 % in Table VI.
+fn whetstone_scalar(iters: u32) -> f64 {
+    let mut x = 0.75f64;
+    let mut y = 0.5f64;
+    for _ in 0..iters {
+        for _ in 0..60 {
+            x = ((x + y).sin().atan() * 2.0).sqrt().abs() + 0.1;
+            y = (x * y).cos().abs() + 0.2;
+        }
+    }
+    x + y
+}
+
+impl CpuBenchmarks {
+    fn sequential(&self, scale: Scale, session: Option<&Session>) -> u64 {
+        let (n, whet_iters) = config(scale);
+        let mut outputs: Vec<u64> = Vec::new();
+
+        // Benign: run parameters and section timers.
+        let mut params = list::<u64>(session, CLASS, "Configure", 14);
+        params.add(n as u64);
+        params.add(u64::from(whet_iters));
+        let mut timers = list::<u64>(session, CLASS, "RecordTimer", 19);
+
+        // --- Linpack ----------------------------------------------------
+        // LI: the flattened matrix fill.
+        let mut matrix = list::<f64>(session, CLASS, "FillMatrix", 31);
+        for i in 0..n {
+            for j in 0..n {
+                matrix.add(mat_entry(i, j));
+            }
+        }
+        // LI: the right-hand-side fill.
+        let mut rhs = list::<f64>(session, CLASS, "FillRhs", 40);
+        for i in 0..n {
+            rhs.add((0..n).map(|j| mat_entry(i, j)).sum::<f64>());
+        }
+        timers.add(1);
+
+        // Elimination on working copies (one Copy event each, like the
+        // original's array clones), then back-substitution through the
+        // instrumented solution vector — the FLR site.
+        let mut a = matrix.to_vec();
+        let mut b = rhs.to_vec();
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let f = a[r * n + p] / a[p * n + p];
+                for c in p..n {
+                    a[r * n + c] -= f * a[p * n + c];
+                }
+                b[r] -= f * b[p];
+            }
+        }
+        let mut solution = array::<f64>(session, CLASS, "BackSubstitute", 58, n);
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in (i + 1)..n {
+                acc -= a[i * n + j] * *solution.get(j);
+            }
+            solution.set(i, acc / a[i * n + i]);
+        }
+        // The exact solution is x = all-ones; fold residual bits.
+        let residual: f64 = (0..n).map(|i| (solution.raw()[i] - 1.0).abs()).sum();
+        outputs.push((residual * 1e6) as u64);
+        timers.add(2);
+
+        // --- Whetstone ----------------------------------------------------
+        // FLR: the e1 array module — read-heavy cyclic access.
+        let mut e1 = array::<f64>(session, CLASS, "WhetstoneE1", 77, 4);
+        e1.set(0, 1.0);
+        e1.set(1, -1.0);
+        e1.set(2, -1.0);
+        e1.set(3, -1.0);
+        // LI: the per-checkpoint results log.
+        let mut results = list::<u64>(session, CLASS, "LogResults", 83);
+        let e1_scans = 150u32;
+        for s in 0..e1_scans {
+            let t = *e1.get(0) + *e1.get(1) + *e1.get(2) + *e1.get(3);
+            e1.set(0, t * 0.499975);
+            results.add((t.to_bits() >> 40) ^ u64::from(s));
+        }
+        let scalar = whetstone_scalar(whet_iters);
+        outputs.push(scalar.to_bits());
+        outputs.push(checksum(results.raw().iter().copied()));
+        timers.add(3);
+        outputs.push(*timers.get(timers.len() - 1));
+
+        checksum(outputs)
+    }
+
+    fn parallel(&self, scale: Scale, threads: usize) -> u64 {
+        let (n, whet_iters) = config(scale);
+        let mut outputs: Vec<u64> = Vec::new();
+
+        // Recommended actions: parallelize the two fills ...
+        let matrix = par_for_init(n * n, threads, |idx| mat_entry(idx / n, idx % n));
+        let rhs = par_for_init(n, threads, |i| (0..n).map(|j| mat_entry(i, j)).sum::<f64>());
+
+        // ... but elimination, back-substitution and the Whetstone kernel
+        // stay sequential: this is the 94 % Amdahl wall.
+        let mut a = matrix;
+        let mut b = rhs;
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let f = a[r * n + p] / a[p * n + p];
+                for c in p..n {
+                    a[r * n + c] -= f * a[p * n + c];
+                }
+                b[r] -= f * b[p];
+            }
+        }
+        let mut solution = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in (i + 1)..n {
+                acc -= a[i * n + j] * solution[j];
+            }
+            solution[i] = acc / a[i * n + i];
+        }
+        let residual: f64 = (0..n).map(|i| (solution[i] - 1.0).abs()).sum();
+        outputs.push((residual * 1e6) as u64);
+
+        let mut e1 = [1.0f64, -1.0, -1.0, -1.0];
+        let mut results: Vec<u64> = Vec::new();
+        for s in 0..150u32 {
+            let t = e1[0] + e1[1] + e1[2] + e1[3];
+            e1[0] = t * 0.499975;
+            results.push((t.to_bits() >> 40) ^ u64::from(s));
+        }
+        let scalar = whetstone_scalar(whet_iters);
+        outputs.push(scalar.to_bits());
+        outputs.push(checksum(results.iter().copied()));
+        outputs.push(3);
+
+        checksum(outputs)
+    }
+}
+
+impl Workload for CpuBenchmarks {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "CPU Benchmarks",
+            domain: "Benchmark",
+            paper_loc: 400,
+            paper_instances: 7,
+            paper_use_cases: (4, 5),
+            paper_speedup: 1.20,
+        }
+    }
+
+    fn run(&self, scale: Scale, mode: Mode<'_>) -> u64 {
+        match mode {
+            Mode::Plain => self.sequential(scale, None),
+            Mode::Instrumented(session) => self.sequential(scale, Some(session)),
+            Mode::Parallel(threads) => self.parallel(scale, threads),
+        }
+    }
+
+    fn fractions(&self, scale: Scale) -> Option<RuntimeFractions> {
+        let (n, whet_iters) = config(scale);
+        // Parallelizable: the two fills. Sequential: everything else.
+        let par = std::time::Instant::now();
+        let matrix: Vec<f64> = (0..n * n).map(|idx| mat_entry(idx / n, idx % n)).collect();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| mat_entry(i, j)).sum::<f64>())
+            .collect();
+        let parallelizable_nanos = par.elapsed().as_nanos() as u64;
+        let seq = std::time::Instant::now();
+        let mut a = matrix;
+        let mut b = rhs;
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let f = a[r * n + p] / a[p * n + p];
+                for c in p..n {
+                    a[r * n + c] -= f * a[p * n + c];
+                }
+                b[r] -= f * b[p];
+            }
+        }
+        std::hint::black_box(whetstone_scalar(whet_iters));
+        std::hint::black_box(&a);
+        let sequential_nanos = seq.elapsed().as_nanos() as u64;
+        Some(RuntimeFractions {
+            sequential_nanos,
+            parallelizable_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_core::Dsspy;
+    use dsspy_usecases::UseCaseKind;
+
+    #[test]
+    fn all_modes_agree() {
+        let w = CpuBenchmarks;
+        let plain = w.run(Scale::Test, Mode::Plain);
+        let session = Session::new();
+        let instrumented = w.run(Scale::Test, Mode::Instrumented(&session));
+        drop(session);
+        let parallel = w.run(Scale::Test, Mode::Parallel(4));
+        assert_eq!(plain, instrumented);
+        assert_eq!(plain, parallel);
+    }
+
+    #[test]
+    fn linpack_solution_is_all_ones() {
+        // rhs = A · 1 by construction, so the solver must recover ~1.0.
+        let session = Session::new();
+        let _ = CpuBenchmarks.run(Scale::Test, Mode::Instrumented(&session));
+        // (checksum equality across modes already guards the math; this
+        // test exists to document the invariant.)
+    }
+
+    #[test]
+    fn instrumented_run_matches_table_iv_shape() {
+        let report = Dsspy::new().profile(|session| {
+            CpuBenchmarks.run(Scale::Test, Mode::Instrumented(session));
+        });
+        assert_eq!(report.instance_count(), 7, "Table IV: 7 data structures");
+        let cases = report.all_use_cases();
+        let got: Vec<_> = cases
+            .iter()
+            .map(|c| (c.kind, c.instance.site.method.clone()))
+            .collect();
+        assert_eq!(cases.len(), 5, "Table IV: 5 use cases: {got:?}");
+        let li = cases
+            .iter()
+            .filter(|c| c.kind == UseCaseKind::LongInsert)
+            .count();
+        let flr = cases
+            .iter()
+            .filter(|c| c.kind == UseCaseKind::FrequentLongRead)
+            .count();
+        assert_eq!((li, flr), (3, 2), "{got:?}");
+        // Paper: the weakest reduction of the suite, 28.57 % (5 of 7).
+        assert!((report.use_case_reduction() - 0.2857).abs() < 0.01);
+    }
+
+    #[test]
+    fn amdahl_wall_shows_in_fractions() {
+        let f = CpuBenchmarks.fractions(Scale::Test).unwrap();
+        assert!(
+            f.sequential_fraction() > 0.5,
+            "CPU Benchmarks must be sequential-dominated: {}",
+            f.sequential_fraction()
+        );
+        assert!(f.amdahl_bound(8) < 2.0);
+    }
+}

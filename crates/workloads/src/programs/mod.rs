@@ -1,0 +1,105 @@
+//! The seven executable evaluation programs of Table IV.
+//!
+//! Each module re-implements one of the paper's benchmark programs as a
+//! deterministic Rust workload over the instrumented collections, with a
+//! plain (ghost-mode) variant for slowdown baselines and a parallel variant
+//! that follows DSspy's recommended actions.
+
+pub mod algorithmia;
+pub mod astrogrep;
+pub mod contentfinder;
+pub mod cpu_benchmarks;
+pub mod gpdotnet;
+pub mod mandelbrot;
+pub mod wordwheel;
+
+use dsspy_collect::Session;
+use dsspy_collections::{SpyArray, SpyMap, SpyQueue, SpyStack, SpyVec};
+use dsspy_events::AllocationSite;
+
+/// Construct a list: instrumented under `session`, ghost-mode otherwise.
+pub(crate) fn list<T>(session: Option<&Session>, class: &str, method: &str, pos: u32) -> SpyVec<T> {
+    match session {
+        Some(s) => SpyVec::register(s, AllocationSite::new(class, method, pos)),
+        None => SpyVec::plain(),
+    }
+}
+
+/// Construct a fixed-size array: instrumented or ghost-mode.
+pub(crate) fn array<T: Clone + Default>(
+    session: Option<&Session>,
+    class: &str,
+    method: &str,
+    pos: u32,
+    len: usize,
+) -> SpyArray<T> {
+    match session {
+        Some(s) => SpyArray::register(s, AllocationSite::new(class, method, pos), len),
+        None => SpyArray::plain(len),
+    }
+}
+
+/// Construct a stack: instrumented or ghost-mode.
+pub(crate) fn stack<T>(
+    session: Option<&Session>,
+    class: &str,
+    method: &str,
+    pos: u32,
+) -> SpyStack<T> {
+    match session {
+        Some(s) => SpyStack::register(s, AllocationSite::new(class, method, pos)),
+        None => SpyStack::plain(),
+    }
+}
+
+/// Construct a queue: instrumented or ghost-mode.
+pub(crate) fn queue<T>(
+    session: Option<&Session>,
+    class: &str,
+    method: &str,
+    pos: u32,
+) -> SpyQueue<T> {
+    match session {
+        Some(s) => SpyQueue::register(s, AllocationSite::new(class, method, pos)),
+        None => SpyQueue::plain(),
+    }
+}
+
+/// Construct a map: instrumented or ghost-mode.
+pub(crate) fn map<K: Eq + std::hash::Hash, V>(
+    session: Option<&Session>,
+    class: &str,
+    method: &str,
+    pos: u32,
+) -> SpyMap<K, V> {
+    match session {
+        Some(s) => SpyMap::register(s, AllocationSite::new(class, method, pos)),
+        None => SpyMap::plain(),
+    }
+}
+
+/// A tiny deterministic xorshift64* generator — workloads must not depend
+/// on platform RNG state so all three modes see identical inputs.
+#[derive(Clone, Debug)]
+pub(crate) struct Rng64(pub u64);
+
+impl Rng64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,234 @@
+//! WordWheelSolver — the word-puzzle solver (Table IV row 7).
+//!
+//! A word wheel gives nine letters with a mandatory center letter; the
+//! solver scans a dictionary for every word that can be assembled from the
+//! wheel. The dictionary list is read end-to-end once per wheel — the
+//! disguised-search shape Frequent-Long-Read flags — and the matches are
+//! appended to a results list (Long-Insert).
+//!
+//! Instances (5, as in Table IV): dictionary (FLR), results (LI), plus the
+//! wheel-letters list, a letter-count map and the wheels list (benign).
+//! Expected use cases: 2; paper speedup 1.50.
+
+use dsspy_collect::Session;
+use dsspy_core::RuntimeFractions;
+use dsspy_parallel::par_find_all;
+
+use crate::programs::{list, map, Rng64};
+use crate::{checksum, Mode, Scale, Workload, WorkloadSpec};
+
+/// The WordWheelSolver workload.
+pub struct WordWheelSolver;
+
+const CLASS: &str = "WordWheel.Solver";
+
+fn config(scale: Scale) -> (usize, usize) {
+    // (dictionary size, number of wheels solved)
+    match scale {
+        Scale::Test => (900, 12),
+        Scale::Full => (60_000, 12),
+    }
+}
+
+/// The common-letter alphabet both words and wheels draw from; a small
+/// shared alphabet keeps the match rate realistic for a puzzle dictionary.
+const ALPHABET: &[u8] = b"aestrnoil";
+
+/// Deterministic pseudo-word of 3–5 common letters.
+fn make_word(rng: &mut Rng64) -> String {
+    let len = 3 + (rng.below(3) as usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+        .collect()
+}
+
+/// Whether `word` can be assembled from `wheel` (letter multiset, must use
+/// the center letter `wheel[0]`).
+fn fits(word: &str, wheel: &[u8; 9]) -> bool {
+    let mut counts = [0u8; 26];
+    for &l in wheel {
+        counts[(l - b'a') as usize] += 1;
+    }
+    let mut uses_center = false;
+    for b in word.bytes() {
+        let i = (b - b'a') as usize;
+        if counts[i] == 0 {
+            return false;
+        }
+        counts[i] -= 1;
+        if b == wheel[0] {
+            uses_center = true;
+        }
+    }
+    uses_center && word.len() >= 3
+}
+
+fn make_wheel(rng: &mut Rng64) -> [u8; 9] {
+    let mut wheel = [0u8; 9];
+    for slot in &mut wheel {
+        *slot = ALPHABET[rng.below(ALPHABET.len() as u64) as usize];
+    }
+    // The mandatory center letter is always 'e' (the most common letter),
+    // as real word wheels are usually built around a frequent letter.
+    wheel[0] = b'e';
+    wheel
+}
+
+impl WordWheelSolver {
+    fn sequential(&self, scale: Scale, session: Option<&Session>) -> u64 {
+        let (dict_size, wheels_n) = config(scale);
+        let mut rng = Rng64(0x5EED_0001);
+
+        // Dictionary: filled once at startup (cheap relative to solving),
+        // then scanned in full once per wheel → FLR.
+        let mut dictionary = list::<String>(session, CLASS, "LoadDictionary", 18);
+        for _ in 0..dict_size {
+            dictionary.add(make_word(&mut rng));
+        }
+
+        // Benign: the wheels to solve.
+        let mut wheels = list::<[u8; 9]>(session, CLASS, "LoadWheels", 27);
+        for _ in 0..wheels_n {
+            wheels.add(make_wheel(&mut rng));
+        }
+
+        // Benign: per-solve letter statistics.
+        let mut letter_stats = map::<u8, u32>(session, CLASS, "TallyLetters", 35);
+
+        // Results: all matches across wheels → LI.
+        let mut results = list::<u32>(session, CLASS, "CollectMatches", 44);
+
+        // Benign: current wheel letters as a small list, rebuilt per wheel.
+        let mut current = list::<u8>(session, CLASS, "SetWheel", 52);
+
+        for wi in 0..wheels.len() {
+            let wheel = *wheels.get(wi);
+            current.clear();
+            for &l in &wheel {
+                current.add(l);
+            }
+            letter_stats.insert(wi as u8, u32::from(wheel[1]));
+            // Full forward scan of the dictionary: the FLR pattern.
+            for di in 0..dictionary.len() {
+                if fits(dictionary.get(di), &wheel) {
+                    results.add(di as u32);
+                }
+            }
+        }
+
+        checksum(results.raw().iter().map(|v| u64::from(*v)))
+    }
+
+    fn parallel(&self, scale: Scale, threads: usize) -> u64 {
+        let (dict_size, wheels_n) = config(scale);
+        let mut rng = Rng64(0x5EED_0001);
+        let dictionary: Vec<String> = (0..dict_size).map(|_| make_word(&mut rng)).collect();
+        let wheels: Vec<[u8; 9]> = (0..wheels_n).map(|_| make_wheel(&mut rng)).collect();
+
+        // Recommended action: split the list into chunks and search them in
+        // parallel; per-wheel match order is preserved by par_find_all.
+        let mut results: Vec<u32> = Vec::new();
+        for wheel in &wheels {
+            let matches = par_find_all(&dictionary, threads, |w| fits(w, wheel));
+            results.extend(matches.into_iter().map(|i| i as u32));
+        }
+
+        checksum(results.iter().map(|v| u64::from(*v)))
+    }
+}
+
+impl Workload for WordWheelSolver {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "WordWheelSolver",
+            domain: "Solver",
+            paper_loc: 110,
+            paper_instances: 5,
+            paper_use_cases: (1, 2),
+            paper_speedup: 1.50,
+        }
+    }
+
+    fn run(&self, scale: Scale, mode: Mode<'_>) -> u64 {
+        match mode {
+            Mode::Plain => self.sequential(scale, None),
+            Mode::Instrumented(session) => self.sequential(scale, Some(session)),
+            Mode::Parallel(threads) => self.parallel(scale, threads),
+        }
+    }
+
+    fn fractions(&self, scale: Scale) -> Option<RuntimeFractions> {
+        // Sequential: dictionary load. Parallelizable: the per-wheel scans.
+        let (dict_size, wheels_n) = config(scale);
+        let seq = std::time::Instant::now();
+        let mut rng = Rng64(0x5EED_0001);
+        let dictionary: Vec<String> = (0..dict_size).map(|_| make_word(&mut rng)).collect();
+        let wheels: Vec<[u8; 9]> = (0..wheels_n).map(|_| make_wheel(&mut rng)).collect();
+        let sequential_nanos = seq.elapsed().as_nanos() as u64;
+        let par = std::time::Instant::now();
+        let mut acc = 0usize;
+        for wheel in &wheels {
+            acc += dictionary.iter().filter(|w| fits(w, wheel)).count();
+        }
+        std::hint::black_box(acc);
+        let parallelizable_nanos = par.elapsed().as_nanos() as u64;
+        Some(RuntimeFractions {
+            sequential_nanos,
+            parallelizable_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_core::Dsspy;
+    use dsspy_usecases::UseCaseKind;
+
+    #[test]
+    fn all_modes_agree() {
+        let w = WordWheelSolver;
+        let plain = w.run(Scale::Test, Mode::Plain);
+        let session = Session::new();
+        let instrumented = w.run(Scale::Test, Mode::Instrumented(&session));
+        drop(session);
+        let parallel = w.run(Scale::Test, Mode::Parallel(4));
+        assert_eq!(plain, instrumented);
+        assert_eq!(plain, parallel);
+    }
+
+    #[test]
+    fn instrumented_run_matches_table_iv_shape() {
+        let report = Dsspy::new().profile(|session| {
+            WordWheelSolver.run(Scale::Test, Mode::Instrumented(session));
+        });
+        assert_eq!(report.instance_count(), 5, "Table IV: 5 data structures");
+        let cases = report.all_use_cases();
+        let got: Vec<_> = cases
+            .iter()
+            .map(|c| (c.kind, c.instance.site.method.clone()))
+            .collect();
+        assert_eq!(cases.len(), 2, "Table IV: 2 use cases: {got:?}");
+        assert!(cases.iter().any(|c| c.kind == UseCaseKind::FrequentLongRead
+            && c.instance.site.method == "LoadDictionary"));
+        assert!(cases.iter().any(
+            |c| c.kind == UseCaseKind::LongInsert && c.instance.site.method == "CollectMatches"
+        ));
+        assert!((report.use_case_reduction() - 0.60).abs() < 0.01);
+    }
+
+    #[test]
+    fn solver_finds_plausible_matches() {
+        // The checksum must reflect actual matches, not an empty result.
+        let session = Session::new();
+        let mut rng = Rng64(0x5EED_0001);
+        let dict: Vec<String> = (0..900).map(|_| make_word(&mut rng)).collect();
+        let wheels: Vec<[u8; 9]> = (0..12).map(|_| make_wheel(&mut rng)).collect();
+        let total: usize = wheels
+            .iter()
+            .map(|wh| dict.iter().filter(|w| fits(w, wh)).count())
+            .sum();
+        assert!(total > 0, "at least one word must fit some wheel");
+        drop(session);
+    }
+}

@@ -1,0 +1,138 @@
+//! Demonstration programs for the three *sequential* use cases (§III-B).
+//!
+//! The paper's evaluation focuses on the five parallel categories, but the
+//! study also defined Insert/Delete-Front (IDF), Stack-Implementation (SI)
+//! and Write-Without-Read (WWR) as sequential optimizations. Each demo here
+//! is a small, realistic program whose instrumented run triggers exactly
+//! its category — useful as executable documentation and as end-to-end
+//! fixtures for the classifier.
+
+use dsspy_collect::Session;
+use dsspy_collections::{SpyArray, SpyVec};
+use dsspy_events::AllocationSite;
+
+use crate::checksum;
+
+/// IDF: an event buffer kept in a fixed-size array, where every arrival is
+/// inserted at the front and every expiry removed from the front — each
+/// operation paying an `Array.Resize` copy.
+///
+/// Returns a checksum of the surviving buffer.
+pub fn idf_array_event_buffer(session: Option<&Session>, rounds: usize) -> u64 {
+    let mut buffer: SpyArray<u64> = match session {
+        Some(s) => SpyArray::register(s, AllocationSite::new("Demo.EventBuffer", "Push", 12), 0),
+        None => SpyArray::plain(0),
+    };
+    for r in 0..rounds {
+        // Newest event at the front...
+        buffer.insert_shift(0, r as u64 * 31 + 7);
+        // ... and once past the window, expire the oldest (also front —
+        // the worst-case churn the paper's IDF describes).
+        if buffer.len() > 4 {
+            buffer.delete_shift(buffer.len() - 1);
+        }
+        if r % 2 == 1 && !buffer.is_empty() {
+            buffer.delete_shift(0);
+        }
+    }
+    checksum(buffer.raw().iter().copied())
+}
+
+/// SI: an undo history kept in a list, pushed and popped exclusively at the
+/// back — a stack in list clothing.
+pub fn si_undo_history(session: Option<&Session>, edits: usize) -> u64 {
+    let mut history: SpyVec<u64> = match session {
+        Some(s) => SpyVec::register(s, AllocationSite::new("Demo.Editor", "RecordEdit", 33)),
+        None => SpyVec::plain(),
+    };
+    let mut undone = Vec::new();
+    for e in 0..edits {
+        history.add(e as u64 ^ 0xABCD);
+        // Every third edit triggers an undo: remove from the same end.
+        if e % 3 == 2 {
+            let last = history.remove_at(history.len() - 1);
+            undone.push(last);
+        }
+    }
+    checksum(history.raw().iter().copied().chain(undone.iter().copied()))
+}
+
+/// WWR: a scratch table whose entries are "cleared" by overwriting every
+/// slot with zero at end of life — writes nobody ever reads.
+pub fn wwr_scratch_teardown(session: Option<&Session>, size: usize) -> u64 {
+    let mut scratch: SpyVec<u64> = match session {
+        Some(s) => SpyVec::register(s, AllocationSite::new("Demo.Scratch", "Teardown", 57)),
+        None => SpyVec::plain(),
+    };
+    for i in 0..size {
+        scratch.add((i as u64).wrapping_mul(0x9E37));
+    }
+    let sum: u64 = scratch.iter().fold(0, |a, v| a.wrapping_add(*v));
+    // The smell: manual "cleanup" writes at end of life.
+    for i in 0..scratch.len() {
+        scratch.set(i, 0);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_core::Dsspy;
+    use dsspy_usecases::UseCaseKind;
+
+    fn detect(run: impl FnOnce(&Session)) -> Vec<UseCaseKind> {
+        Dsspy::new()
+            .profile(run)
+            .all_use_cases()
+            .iter()
+            .map(|u| u.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idf_demo_triggers_insert_delete_front() {
+        let kinds = detect(|s| {
+            idf_array_event_buffer(Some(s), 40);
+        });
+        assert!(kinds.contains(&UseCaseKind::InsertDeleteFront), "{kinds:?}");
+    }
+
+    #[test]
+    fn si_demo_triggers_stack_implementation() {
+        let kinds = detect(|s| {
+            si_undo_history(Some(s), 60);
+        });
+        assert!(
+            kinds.contains(&UseCaseKind::StackImplementation),
+            "{kinds:?}"
+        );
+        // The whole point: it is a sequential finding, not a parallel one.
+        assert!(kinds.iter().all(|k| !k.is_parallel()), "{kinds:?}");
+    }
+
+    #[test]
+    fn wwr_demo_triggers_write_without_read() {
+        let kinds = detect(|s| {
+            wwr_scratch_teardown(Some(s), 30);
+        });
+        assert!(kinds.contains(&UseCaseKind::WriteWithoutRead), "{kinds:?}");
+    }
+
+    #[test]
+    fn demos_are_deterministic_plain_vs_instrumented() {
+        let session = Session::new();
+        assert_eq!(
+            idf_array_event_buffer(None, 40),
+            idf_array_event_buffer(Some(&session), 40)
+        );
+        assert_eq!(
+            si_undo_history(None, 60),
+            si_undo_history(Some(&session), 60)
+        );
+        assert_eq!(
+            wwr_scratch_teardown(None, 30),
+            wwr_scratch_teardown(Some(&session), 30)
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The 15-program mining corpus of Table II.
+//!
+//! Table II reports, per program, how many data-structure locations showed
+//! *recurring regularities* (Σ 81) and how many *parallel use cases* they
+//! yielded (Σ 41). The programs themselves are not available, so each is
+//! modeled as a set of synthetic runtime profiles whose mined counts are
+//! calibrated to the paper's row: `use_cases` instances that each trigger a
+//! parallel use case (a row with more use cases than regular locations hosts
+//! dual LI+FLR profiles, like the paper's gpdotnet population list),
+//! `regular - hosts` instances with regularity but no use case, plus
+//! irregular noise instances.
+
+use dsspy_events::RuntimeProfile;
+use dsspy_usecases::UseCaseKind;
+
+use crate::traces::{irregular_profile, regular_only_profile, use_case_profile};
+
+/// One corpus program: name, domain, paper LOC, and the Table II counts.
+#[derive(Clone, Copy, Debug)]
+pub struct MiningProgram {
+    /// Program name as the paper spells it.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Size of the original program (paper-reported).
+    pub loc: usize,
+    /// Table II "Recurring Regularities" for this program.
+    pub regularities: usize,
+    /// Table II "Parallel Use Cases" for this program.
+    pub parallel_use_cases: usize,
+}
+
+/// The Table II rows, in the paper's order.
+pub const TABLE2_ROWS: [MiningProgram; 15] = [
+    MiningProgram {
+        name: "TerraBIB",
+        domain: "Office",
+        loc: 10_309,
+        regularities: 1,
+        parallel_use_cases: 0,
+    },
+    MiningProgram {
+        name: "rrrsroguelike",
+        domain: "Game",
+        loc: 659,
+        regularities: 1,
+        parallel_use_cases: 1,
+    },
+    MiningProgram {
+        name: "fire",
+        domain: "Simulation",
+        loc: 2_137,
+        regularities: 1,
+        parallel_use_cases: 2,
+    },
+    MiningProgram {
+        name: "dotqcf",
+        domain: "Simulation",
+        loc: 27_170,
+        regularities: 2,
+        parallel_use_cases: 0,
+    },
+    MiningProgram {
+        name: "Contentfinder",
+        domain: "Search",
+        loc: 1_046,
+        regularities: 2,
+        parallel_use_cases: 2,
+    },
+    MiningProgram {
+        name: "astrogrep",
+        domain: "Computation",
+        loc: 846,
+        regularities: 2,
+        parallel_use_cases: 3,
+    },
+    MiningProgram {
+        name: "borys-MeshRouting",
+        domain: "Simulation",
+        loc: 6_429,
+        regularities: 3,
+        parallel_use_cases: 3,
+    },
+    MiningProgram {
+        name: "csparser",
+        domain: "Parser",
+        loc: 17_836,
+        regularities: 5,
+        parallel_use_cases: 5,
+    },
+    MiningProgram {
+        name: "dsa",
+        domain: "DS lib",
+        loc: 4_099,
+        regularities: 5,
+        parallel_use_cases: 0,
+    },
+    MiningProgram {
+        name: "TreeLayoutHelper",
+        domain: "Graph lib",
+        loc: 4_673,
+        regularities: 6,
+        parallel_use_cases: 0,
+    },
+    MiningProgram {
+        name: "ManicDigger2011",
+        domain: "Game",
+        loc: 24_970,
+        regularities: 6,
+        parallel_use_cases: 6,
+    },
+    MiningProgram {
+        name: "clipper",
+        domain: "Office",
+        loc: 3_270,
+        regularities: 9,
+        parallel_use_cases: 5,
+    },
+    MiningProgram {
+        name: "Net_With_UI",
+        domain: "Simulation",
+        loc: 1_034,
+        regularities: 11,
+        parallel_use_cases: 2,
+    },
+    MiningProgram {
+        name: "netinfotrace",
+        domain: "Office",
+        loc: 7_311,
+        regularities: 13,
+        parallel_use_cases: 5,
+    },
+    MiningProgram {
+        name: "MidiSheetMusic",
+        domain: "Office",
+        loc: 4_792,
+        regularities: 14,
+        parallel_use_cases: 7,
+    },
+];
+
+/// Paper totals for Table II.
+pub const TABLE2_TOTAL_REGULARITIES: usize = 81;
+/// Paper totals for Table II.
+pub const TABLE2_TOTAL_USE_CASES: usize = 41;
+
+/// The parallel use-case mix used when assigning cases to hosts: mostly
+/// Long-Insert and Frequent-Long-Read, the two dominant categories of the
+/// study (§VII notes the others are rare).
+const CASE_MIX: [UseCaseKind; 8] = [
+    UseCaseKind::LongInsert,
+    UseCaseKind::FrequentLongRead,
+    UseCaseKind::LongInsert,
+    UseCaseKind::LongInsert,
+    UseCaseKind::ImplementQueue,
+    UseCaseKind::LongInsert,
+    UseCaseKind::FrequentLongRead,
+    UseCaseKind::FrequentSearch,
+];
+
+/// Generate the synthetic profiles of one Table II program.
+///
+/// The profile set is constructed so that, under default thresholds:
+/// * exactly `regularities` profiles pass the regularity gate, and
+/// * classification yields exactly `parallel_use_cases` parallel use cases.
+pub fn generate(program: &MiningProgram) -> Vec<RuntimeProfile> {
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    let r = program.regularities;
+    let u = program.parallel_use_cases;
+
+    // Number of regular hosts that carry use cases. Each host carries one
+    // use case, except that when u > r some hosts carry the dual LI+FLR
+    // pair (u ≤ 2r is required and holds for every paper row).
+    assert!(
+        u <= 2 * r || r == 0 && u == 0,
+        "{}: u={u} > 2r={}",
+        program.name,
+        2 * r
+    );
+    let hosts = u.min(r);
+    let duals = u - hosts; // hosts that carry LI+FLR instead of one case
+
+    let mut case_cursor = 0usize;
+    for h in 0..hosts {
+        if h < duals {
+            out.push(use_case_profile(
+                program.name,
+                idx,
+                UseCaseKind::LongInsert,
+                true,
+            ));
+        } else {
+            let kind = CASE_MIX[case_cursor % CASE_MIX.len()];
+            case_cursor += 1;
+            out.push(use_case_profile(program.name, idx, kind, false));
+        }
+        idx += 1;
+    }
+    // Regular-but-unflagged locations.
+    for _ in hosts..r {
+        out.push(regular_only_profile(program.name, idx));
+        idx += 1;
+    }
+    // Noise: a couple of irregular instances per program (scaled by LOC so
+    // bigger programs have more uninteresting structures, as in reality).
+    let noise = 2 + program.loc / 10_000;
+    for _ in 0..noise {
+        out.push(irregular_profile(program.name, idx));
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
+    use dsspy_usecases::{classify, Thresholds};
+
+    #[test]
+    fn rows_sum_to_paper_totals() {
+        let r: usize = TABLE2_ROWS.iter().map(|p| p.regularities).sum();
+        let u: usize = TABLE2_ROWS.iter().map(|p| p.parallel_use_cases).sum();
+        assert_eq!(r, TABLE2_TOTAL_REGULARITIES);
+        assert_eq!(u, TABLE2_TOTAL_USE_CASES);
+        // The paper's totals row says 72,613 LOC; the per-row LOC cells in
+        // the scan do not add up to that (print artifact), so only the
+        // regularity/use-case totals are asserted.
+    }
+
+    #[test]
+    fn generated_corpus_reproduces_each_row() {
+        for program in &TABLE2_ROWS {
+            let profiles = generate(program);
+            let mut regular = 0usize;
+            let mut cases = 0usize;
+            for p in &profiles {
+                let analysis = analyze(p, &MinerConfig::default());
+                if regularity(&analysis, &RegularityConfig::default()).is_regular() {
+                    regular += 1;
+                }
+                cases += classify(&p.instance, &analysis, &Thresholds::default())
+                    .iter()
+                    .filter(|u| u.kind.is_parallel())
+                    .count();
+            }
+            assert_eq!(
+                regular, program.regularities,
+                "{}: regularity count",
+                program.name
+            );
+            assert_eq!(
+                cases, program.parallel_use_cases,
+                "{}: parallel use-case count",
+                program.name
+            );
+        }
+    }
+}

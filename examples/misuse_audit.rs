@@ -1,0 +1,52 @@
+//! Structural misuse in action (§II-A): a priority structure hand-rolled
+//! as a binary heap *on a list*, and a lookup table forced through linear
+//! scans. DSspy's advisories catch both, alongside any use cases.
+//!
+//! ```sh
+//! cargo run --example misuse_audit
+//! ```
+
+use dsspy::collections::{site, SpyVec};
+use dsspy::core::Dsspy;
+
+fn main() {
+    let report = Dsspy::new().profile(|session| {
+        // --- misuse 1: a binary heap indexed into a list -----------------
+        let mut heap = SpyVec::register(session, site!("task_priorities"));
+        for i in 0..255u64 {
+            heap.add((i * 97) % 256);
+        }
+        // Repeated sift-down walks: i → 2i+1 / 2i+2.
+        for round in 0..50usize {
+            let mut i = 0usize;
+            while 2 * i + 1 < heap.len() {
+                let _ = *heap.get(i);
+                i = if (round + i) % 2 == 0 {
+                    2 * i + 1
+                } else {
+                    2 * i + 2
+                };
+            }
+        }
+
+        // --- misuse 2: a "map" that linearly searches for every key -------
+        let mut directory = SpyVec::register(session, site!("user_directory"));
+        for i in 0..40u64 {
+            directory.add(i * 11);
+        }
+        for key in 0..200u64 {
+            let _ = directory.contains(&((key * 7) % 440));
+        }
+    });
+
+    println!("{}", report.summary());
+    println!();
+    let advisories = report.render_advisories();
+    if advisories.is_empty() {
+        println!("no structural advisories (unexpected for this demo)");
+    } else {
+        println!("{advisories}");
+    }
+    // The use-case listing still runs alongside.
+    println!("{}", report.render_use_cases());
+}

@@ -1,0 +1,51 @@
+//! The Implement-Queue story end to end: DSspy catches a list being used as
+//! a queue, prints the transformation sketch, and the refactored version
+//! runs producers and consumers concurrently on the parallel queue.
+//!
+//! ```sh
+//! cargo run --example queue_refactor
+//! ```
+
+use dsspy::collections::{site, SpyVec};
+use dsspy::core::{sketches, Dsspy};
+use dsspy::parallel::produce_consume;
+
+fn main() {
+    // --- 1. The misuse: a work list implemented on a list ------------------
+    let report = Dsspy::new().profile(|session| {
+        let mut worklist = SpyVec::register(session, site!("dispatch_jobs"));
+        for job in 0..500u32 {
+            worklist.add(job);
+            // The "consumer" pulls from the front of the same list.
+            if worklist.len() > 8 {
+                let job = worklist.remove_at(0);
+                std::hint::black_box(job);
+            }
+        }
+    });
+    println!("{}", report.render_use_cases());
+
+    // --- 2. The sketch DSspy proposes ---------------------------------------
+    for sketch in sketches(&report) {
+        println!("{}", sketch.render());
+    }
+
+    // --- 3. The refactored pipeline ------------------------------------------
+    let (produced, outputs) = produce_consume(
+        4, // consumers
+        8, // queue capacity (same working depth as the list version)
+        |push| {
+            for job in 0..500u32 {
+                push(job);
+            }
+            500u32
+        },
+        |job: u32| u64::from(job) * 3 + 1,
+    );
+    println!(
+        "refactored: produced {produced} jobs, consumed {} results (sum {})",
+        outputs.len(),
+        outputs.iter().sum::<u64>()
+    );
+    assert_eq!(outputs.len(), 500);
+}

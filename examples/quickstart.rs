@@ -1,0 +1,45 @@
+//! Quickstart: profile a small program and read DSspy's advice.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dsspy::collections::{site, SpyVec};
+use dsspy::core::Dsspy;
+
+fn main() {
+    // 1. Run your program with instrumented collections inside a session.
+    let report = Dsspy::new().profile(|session| {
+        // A list that is bulk-loaded: DSspy will flag Long-Insert.
+        let mut readings = SpyVec::register(session, site!("load_readings"));
+        for i in 0..5_000 {
+            readings.add(f64::from(i) * 0.25);
+        }
+
+        // A list that is re-scanned for every query: Frequent-Long-Read.
+        let mut lookup = SpyVec::register(session, site!("lookup_table"));
+        lookup.extend((0..200).map(|i| i * 3));
+        for query in 0..15 {
+            let hits = lookup.iter().filter(|v| **v % (query + 2) == 0).count();
+            let _ = hits;
+        }
+
+        // A scratch list used sparingly: never flagged.
+        let mut scratch = SpyVec::register(session, site!("scratch"));
+        scratch.add(1);
+        scratch.add(2);
+    });
+
+    // 2. Read the advice.
+    println!("{}", report.summary());
+    println!();
+    println!("{}", report.render_use_cases());
+
+    // 3. The headline metric: how much of the search space DSspy removed.
+    println!(
+        "search space reduction: {:.1}% ({} of {} instances need a look)",
+        report.search_space_reduction() * 100.0,
+        report.flagged_instance_count(),
+        report.instance_count()
+    );
+}

@@ -1,0 +1,24 @@
+//! # DSspy — locating parallelization potential in object-oriented data structures
+//!
+//! Facade crate re-exporting the whole DSspy reproduction. See the README
+//! for an overview; start with [`prelude`].
+
+/// Everything a typical user needs: instrumented collections, the session
+/// API, and the analysis entry points.
+pub mod prelude {
+    pub use dsspy_collect::{Capture, Session, SessionConfig};
+    pub use dsspy_events::{
+        AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, RuntimeProfile, Target,
+    };
+}
+
+pub use dsspy_collect as collect;
+pub use dsspy_collections as collections;
+pub use dsspy_core as core;
+pub use dsspy_events as events;
+pub use dsspy_parallel as parallel;
+pub use dsspy_patterns as patterns;
+pub use dsspy_study as study;
+pub use dsspy_usecases as usecases;
+pub use dsspy_viz as viz;
+pub use dsspy_workloads as workloads;

@@ -1,0 +1,50 @@
+//! Full-scale validation (run explicitly; slow in debug builds):
+//!
+//! ```sh
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+//!
+//! Detection shape must be scale-independent: the Table IV instance and
+//! use-case counts hold at evaluation scale exactly as at test scale.
+
+use dsspy::core::Dsspy;
+use dsspy_workloads::{suite7, Mode, Scale};
+
+#[test]
+#[ignore = "evaluation-scale run; invoke with --ignored (use --release)"]
+fn table4_counts_hold_at_full_scale() {
+    let mut instances = 0usize;
+    let mut cases = 0usize;
+    for w in suite7() {
+        let report = Dsspy::new().profile(|session| {
+            std::hint::black_box(w.run(Scale::Full, Mode::Instrumented(session)));
+        });
+        let spec = w.spec();
+        assert_eq!(
+            report.instance_count(),
+            spec.paper_instances,
+            "{} instance count at full scale",
+            spec.name
+        );
+        assert_eq!(
+            report.all_use_cases().len(),
+            spec.paper_use_cases.1,
+            "{} use-case count at full scale",
+            spec.name
+        );
+        instances += report.instance_count();
+        cases += report.all_use_cases().len();
+    }
+    assert_eq!(instances, 104);
+    assert_eq!(cases, 24);
+}
+
+#[test]
+#[ignore = "evaluation-scale run; invoke with --ignored (use --release)"]
+fn all_modes_agree_at_full_scale() {
+    for w in suite7() {
+        let plain = w.run(Scale::Full, Mode::Plain);
+        let parallel = w.run(Scale::Full, Mode::Parallel(4));
+        assert_eq!(plain, parallel, "{} full-scale checksum", w.spec().name);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration: classifier threshold boundary behaviour through the public
+//! API — the paper's §III-B values are inclusive/exclusive exactly as
+//! written ("more than", "at least").
+
+use dsspy::collections::{site, SpyVec};
+use dsspy::core::Dsspy;
+use dsspy::usecases::{Thresholds, UseCaseKind};
+
+fn li_count(report: &dsspy::core::Report) -> usize {
+    report
+        .all_use_cases()
+        .iter()
+        .filter(|u| u.kind == UseCaseKind::LongInsert)
+        .count()
+}
+
+#[test]
+fn long_insert_run_length_boundary() {
+    // 99 events: below threshold. 100: at threshold (inclusive — "at least
+    // 100 consecutive access events").
+    for (n, expect) in [(99u32, 0usize), (100, 1), (101, 1)] {
+        let report = Dsspy::new().profile(|session| {
+            let mut l = SpyVec::register(session, site!("boundary"));
+            for i in 0..n {
+                l.add(i);
+            }
+        });
+        assert_eq!(li_count(&report), expect, "n={n}");
+    }
+}
+
+#[test]
+fn custom_thresholds_change_the_verdict() {
+    let strict = Thresholds {
+        li_min_run_len: 1_000,
+        ..Thresholds::default()
+    };
+    let lenient = Thresholds {
+        li_min_run_len: 10,
+        ..Thresholds::default()
+    };
+    let run = |t: Thresholds| {
+        Dsspy::new().with_thresholds(t).profile(|session| {
+            let mut l = SpyVec::register(session, site!("tunable"));
+            for i in 0..500 {
+                l.add(i);
+            }
+        })
+    };
+    assert_eq!(li_count(&run(strict)), 0);
+    assert_eq!(li_count(&run(lenient)), 1);
+    assert_eq!(li_count(&run(Thresholds::default())), 1);
+}
+
+#[test]
+fn flr_pattern_count_boundary() {
+    // "More than 10 sequential read patterns": 10 scans do not fire, 11 do.
+    let run = |scans: usize| {
+        Dsspy::new().profile(|session| {
+            let mut l = SpyVec::register(session, site!("flr"));
+            l.extend(0..40);
+            for _ in 0..scans {
+                let s: i32 = l.iter().sum();
+                assert!(s > 0);
+                // A non-adjacent read to separate consecutive scan runs.
+                let _ = l.try_get(20);
+            }
+        })
+    };
+    let flr = |r: &dsspy::core::Report| {
+        r.all_use_cases()
+            .iter()
+            .filter(|u| u.kind == UseCaseKind::FrequentLongRead)
+            .count()
+    };
+    assert_eq!(flr(&run(10)), 0, "exactly 10 patterns is not enough");
+    assert_eq!(flr(&run(11)), 1, "11 patterns fire");
+}
+
+#[test]
+fn evidence_is_attached_and_meaningful() {
+    let report = Dsspy::new().profile(|session| {
+        let mut l = SpyVec::register(session, site!("evidence"));
+        for i in 0..400 {
+            l.add(i);
+        }
+    });
+    let cases = report.all_use_cases();
+    assert_eq!(cases.len(), 1);
+    let uc = &cases[0];
+    assert!(!uc.evidence.is_empty());
+    for e in &uc.evidence {
+        assert!(
+            e.value >= e.threshold * 0.999,
+            "evidence {e} must show the crossed threshold"
+        );
+    }
+    assert!(uc.reason().contains("threshold"));
+}
+
+#[test]
+fn empty_session_produces_empty_report() {
+    let report = Dsspy::new().profile(|_| {});
+    assert_eq!(report.instance_count(), 0);
+    assert!(report.all_use_cases().is_empty());
+    assert_eq!(report.search_space_reduction(), 0.0);
+    assert_eq!(report.use_case_reduction(), 0.0);
+}

@@ -1,0 +1,105 @@
+//! Integration: threshold tuning against the Table III corpus, and the
+//! already-parallel thread gate through the public API.
+
+use dsspy::collections::{site, SpyVec};
+use dsspy::core::Dsspy;
+use dsspy::patterns::MinerConfig;
+use dsspy::usecases::{evaluate_thresholds, LabeledProfile, Thresholds, UseCaseKind};
+use dsspy_workloads::suite23;
+
+/// Label the Table III corpus with its generated ground truth.
+fn labeled_corpus() -> Vec<LabeledProfile> {
+    let mut corpus = Vec::new();
+    for row in &suite23::TABLE3_ROWS {
+        let profiles = suite23::generate(row);
+        // Ground truth: the first Σ(cases) profiles host one case each (in
+        // column order); the trailing noise profiles host none.
+        let mut expected_stream: Vec<UseCaseKind> = Vec::new();
+        for (col, &count) in row.cases.iter().enumerate() {
+            for _ in 0..count {
+                expected_stream.push(suite23::CATEGORY_ORDER[col]);
+            }
+        }
+        for (i, profile) in profiles.into_iter().enumerate() {
+            let expected = expected_stream.get(i).map(|k| vec![*k]).unwrap_or_default();
+            corpus.push(LabeledProfile { profile, expected });
+        }
+    }
+    corpus
+}
+
+#[test]
+fn paper_defaults_are_perfect_on_the_calibrated_corpus() {
+    // By construction the corpus was calibrated so the paper's thresholds
+    // detect exactly the labeled cases — this test closes the loop through
+    // the tuning machinery: precision = recall = 1 at the defaults.
+    let q = evaluate_thresholds(
+        &labeled_corpus(),
+        &Thresholds::default(),
+        &MinerConfig::default(),
+    );
+    assert_eq!(q.false_positives, 0, "{q:?}");
+    assert_eq!(q.false_negatives, 0, "{q:?}");
+    assert_eq!(q.true_positives, 66, "all of Table III's use cases");
+    assert_eq!(q.f1(), 1.0);
+}
+
+#[test]
+fn detuning_in_either_direction_hurts() {
+    let corpus = labeled_corpus();
+    let strict = evaluate_thresholds(
+        &corpus,
+        &Thresholds {
+            li_min_run_len: 5_000,
+            ..Thresholds::default()
+        },
+        &MinerConfig::default(),
+    );
+    assert!(strict.recall() < 0.5, "LI (49 of 66) vanishes: {strict:?}");
+
+    let lenient = evaluate_thresholds(
+        &corpus,
+        &Thresholds {
+            flr_min_read_patterns: 0,
+            flr_min_read_share: 0.0,
+            ..Thresholds::default()
+        },
+        &MinerConfig::default(),
+    );
+    assert!(
+        lenient.false_positives > 0,
+        "noise profiles start firing FLR: {lenient:?}"
+    );
+    assert!(lenient.precision() < 1.0);
+}
+
+#[test]
+fn concurrently_shared_lists_get_no_parallel_advice_end_to_end() {
+    let report = Dsspy::new().profile(|session| {
+        // One list fed by four threads in turn (block handoff ×4 → shared).
+        let list = std::sync::Mutex::new(SpyVec::register(session, site!("shared_log")));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let list = &list;
+                    scope.spawn(move || {
+                        for i in 0..150 {
+                            list.lock().unwrap().add(t * 1_000 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+    assert_eq!(report.instance_count(), 1);
+    let inst = &report.instances[0];
+    assert!(inst.analysis.threads.thread_count >= 2);
+    assert!(
+        inst.use_cases.iter().all(|u| !u.kind.is_parallel()),
+        "no parallel advice for already-shared structures: {:?}",
+        inst.use_cases.iter().map(|u| u.kind).collect::<Vec<_>>()
+    );
+}
