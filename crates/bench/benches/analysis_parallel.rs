@@ -1,0 +1,62 @@
+//! The parallel post-mortem pipeline: `Dsspy::analyze_capture` over a
+//! many-instance capture at 1, 2, 4 and all-cores worker threads. The
+//! per-instance analyses are independent, so the fan-out should approach
+//! linear speedup until the instance count or memory bandwidth runs out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsspy_collect::{Capture, CollectorStats};
+use dsspy_core::Dsspy;
+use dsspy_parallel::default_threads;
+use dsspy_workloads::traces::{synth_instance, TraceBuilder};
+
+/// A capture of `instances` profiles with ~`events` events each, shaped so
+/// the miner and classifier both have work (fills, scans, searches).
+fn capture_of(instances: u32, events: u32) -> Capture {
+    let profiles = (0..instances)
+        .map(|i| {
+            let mut b = TraceBuilder::new();
+            let chunk = (events / 8).max(10);
+            b.append_phase(chunk, 50);
+            for _ in 0..3 {
+                b.scan_forward(10);
+                b.random_reads(chunk / 2, 10);
+                b.searches(chunk / 4, 10);
+            }
+            b.clear(50);
+            b.append_phase(chunk, 50);
+            b.build(synth_instance(
+                "bench",
+                u64::from(i),
+                dsspy_events::DsKind::List,
+            ))
+        })
+        .collect();
+    Capture::new(profiles, CollectorStats::default(), 1_000_000)
+}
+
+fn bench_analysis_parallel(c: &mut Criterion) {
+    let capture = capture_of(64, 20_000);
+    let total_events: u64 = capture.profiles.iter().map(|p| p.len() as u64).sum();
+    let mut group = c.benchmark_group("analysis/analyze_capture_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_events));
+    let mut counts = vec![1usize, 2, 4];
+    let all = default_threads();
+    if !counts.contains(&all) {
+        counts.push(all);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let dsspy = Dsspy::new().with_threads(threads);
+                b.iter(|| std::hint::black_box(dsspy.analyze_capture(&capture).instance_count()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_parallel);
+criterion_main!(benches);

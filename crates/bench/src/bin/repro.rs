@@ -103,8 +103,8 @@ fn main() {
 
     let print_table = |n: u32| match n {
         1 => println!("{}", tables::table1()),
-        2 => println!("{}", tables::table2()),
-        3 => println!("{}", tables::table3()),
+        2 => println!("{}", tables::table2_with_threads(threads)),
+        3 => println!("{}", tables::table3_with_threads(threads)),
         4 => println!("{}", tables::table4(scale, runs, threads)),
         5 => println!("{}", tables::table5(scale)),
         6 => println!("{}", tables::table6(scale)),

@@ -6,7 +6,9 @@ use dsspy_collect::Session;
 use dsspy_collections::SpyVec;
 use dsspy_core::{measure_avg_nanos, Dsspy, Report};
 use dsspy_events::AllocationSite;
-use dsspy_parallel::{default_threads, par_find_all, par_for_init, par_max_by_key, par_merge_sort};
+use dsspy_parallel::{
+    default_threads, par_find_all, par_for_init, par_map, par_max_by_key, par_merge_sort,
+};
 use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
 use dsspy_study::{domain_rows, occurrence_rows};
 use dsspy_usecases::{classify, Thresholds};
@@ -140,6 +142,13 @@ pub fn figure3_svg() -> String {
 
 /// Table II — recurring regularities in the 15-program corpus.
 pub fn table2() -> String {
+    table2_with_threads(default_threads())
+}
+
+/// [`table2`] with an explicit analysis-worker count: the per-program
+/// generate-and-mine batches run on `threads` workers (`par_map` keeps row
+/// order, so the rendered table is identical for every count).
+pub fn table2_with_threads(threads: usize) -> String {
     let mut out = String::from(
         "Table II — Access pattern predominance: recurring regularities in 15 programs\n",
     );
@@ -150,7 +159,7 @@ pub fn table2() -> String {
     );
     let mut total_r = 0;
     let mut total_u = 0;
-    for program in &suite15::TABLE2_ROWS {
+    let rows = par_map(&suite15::TABLE2_ROWS, threads.max(1), |program| {
         let profiles = suite15::generate(program);
         let mut regular = 0usize;
         let mut cases = 0usize;
@@ -164,6 +173,9 @@ pub fn table2() -> String {
                 .filter(|u| u.kind.is_parallel())
                 .count();
         }
+        (regular, cases)
+    });
+    for (program, (regular, cases)) in suite15::TABLE2_ROWS.iter().zip(rows) {
         let _ = writeln!(
             out,
             "{:<20} {:<12} {:>7} {:>12} {:>10}",
@@ -186,6 +198,12 @@ pub fn table2() -> String {
 
 /// Table III — 66 use cases in the evaluation corpus, by category.
 pub fn table3() -> String {
+    table3_with_threads(default_threads())
+}
+
+/// [`table3`] with an explicit analysis-worker count (see
+/// [`table2_with_threads`]).
+pub fn table3_with_threads(threads: usize) -> String {
     let mut out = String::from("Table III — use cases by category\n");
     let _ = writeln!(
         out,
@@ -193,7 +211,7 @@ pub fn table3() -> String {
         "Application", "# LI", "# IQ", "# SAI", "# FS", "# FLR", "Σ"
     );
     let mut totals = [0usize; 5];
-    for row in &suite23::TABLE3_ROWS {
+    let rows = par_map(&suite23::TABLE3_ROWS, threads.max(1), |row| {
         let profiles = suite23::generate(row);
         let mut got = [0usize; 5];
         for p in &profiles {
@@ -204,6 +222,9 @@ pub fn table3() -> String {
                 }
             }
         }
+        got
+    });
+    for (row, got) in suite23::TABLE3_ROWS.iter().zip(rows) {
         let _ = writeln!(
             out,
             "{:<20} {:>5} {:>5} {:>6} {:>5} {:>6} {:>6}",
@@ -280,7 +301,9 @@ fn evaluate_one(w: &dyn Workload, scale: Scale, runs: usize, threads: usize) -> 
     // collection, matching the paper's "data collection" phase.
     let mut last_report: Option<Report> = None;
     let instrumented = measure_avg_nanos(runs, || {
-        let dsspy = Dsspy::new();
+        // The analysis fan-out dogfoods the same thread budget the parallel
+        // workload variants get.
+        let dsspy = Dsspy::new().with_threads(threads);
         let report = dsspy.profile(|session| {
             std::hint::black_box(w.run(scale, Mode::Instrumented(session)));
         });
@@ -497,6 +520,59 @@ pub fn speedups(runs: usize) -> String {
     out
 }
 
+/// Ablation study: sweep the main classifier thresholds over the Table III
+/// corpus (the set the paper tuned on) and report precision/recall/F1 per
+/// grid point. The paper's defaults should sit on the perfect frontier —
+/// the corpus was calibrated against them — and the table shows how fast
+/// quality decays as the knobs move.
+pub fn ablation_table() -> String {
+    use dsspy_usecases::{best_by_f1, sweep_grid, LabeledProfile};
+
+    // Label the Table III corpus with its generated ground truth.
+    let mut corpus = Vec::new();
+    for row in &suite23::TABLE3_ROWS {
+        let profiles = suite23::generate(row);
+        let mut expected_stream = Vec::new();
+        for (col, &count) in row.cases.iter().enumerate() {
+            for _ in 0..count {
+                expected_stream.push(suite23::CATEGORY_ORDER[col]);
+            }
+        }
+        for (i, profile) in profiles.into_iter().enumerate() {
+            let expected = expected_stream.get(i).map(|k| vec![*k]).unwrap_or_default();
+            corpus.push(LabeledProfile { profile, expected });
+        }
+    }
+
+    let points = sweep_grid(&corpus, &MinerConfig::default());
+    let mut out =
+        String::from("Ablation — classifier thresholds vs. detection quality (Table III corpus)\n");
+    let _ = writeln!(
+        out,
+        "{:<44} {:>9} {:>7} {:>7}",
+        "setting", "precision", "recall", "F1"
+    );
+    for p in &points {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8.3} {:>7.3} {:>7.3}",
+            p.label,
+            p.quality.precision(),
+            p.quality.recall(),
+            p.quality.f1()
+        );
+    }
+    if let Some(best) = best_by_f1(&points) {
+        let _ = writeln!(
+            out,
+            "\nbest: {} (F1 {:.3}); paper defaults: li_run=100 li_share=0.3 flr_pats=10",
+            best.label,
+            best.quality.f1()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,57 +651,4 @@ mod tests {
             assert!(t.contains(name), "{t}");
         }
     }
-}
-
-/// Ablation study: sweep the main classifier thresholds over the Table III
-/// corpus (the set the paper tuned on) and report precision/recall/F1 per
-/// grid point. The paper's defaults should sit on the perfect frontier —
-/// the corpus was calibrated against them — and the table shows how fast
-/// quality decays as the knobs move.
-pub fn ablation_table() -> String {
-    use dsspy_usecases::{best_by_f1, sweep_grid, LabeledProfile};
-
-    // Label the Table III corpus with its generated ground truth.
-    let mut corpus = Vec::new();
-    for row in &suite23::TABLE3_ROWS {
-        let profiles = suite23::generate(row);
-        let mut expected_stream = Vec::new();
-        for (col, &count) in row.cases.iter().enumerate() {
-            for _ in 0..count {
-                expected_stream.push(suite23::CATEGORY_ORDER[col]);
-            }
-        }
-        for (i, profile) in profiles.into_iter().enumerate() {
-            let expected = expected_stream.get(i).map(|k| vec![*k]).unwrap_or_default();
-            corpus.push(LabeledProfile { profile, expected });
-        }
-    }
-
-    let points = sweep_grid(&corpus, &MinerConfig::default());
-    let mut out =
-        String::from("Ablation — classifier thresholds vs. detection quality (Table III corpus)\n");
-    let _ = writeln!(
-        out,
-        "{:<44} {:>9} {:>7} {:>7}",
-        "setting", "precision", "recall", "F1"
-    );
-    for p in &points {
-        let _ = writeln!(
-            out,
-            "{:<44} {:>8.3} {:>7.3} {:>7.3}",
-            p.label,
-            p.quality.precision(),
-            p.quality.recall(),
-            p.quality.f1()
-        );
-    }
-    if let Some(best) = best_by_f1(&points) {
-        let _ = writeln!(
-            out,
-            "\nbest: {} (F1 {:.3}); paper defaults: li_run=100 li_share=0.3 flr_pats=10",
-            best.label,
-            best.quality.f1()
-        );
-    }
-    out
 }

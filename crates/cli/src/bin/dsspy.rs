@@ -6,13 +6,14 @@ use dsspy_cli::{cmd_analyze, cmd_chart, cmd_csv, cmd_diff, cmd_report, cmd_sketc
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dsspy analyze  <capture> [--json] [--selective]\n  \
+        "usage:\n  dsspy analyze  <capture> [--json] [--selective] [--threads N]\n  \
          dsspy chart    <capture> [--instance N] [--svg PATH]\n  \
          dsspy timeline <capture> [--instance N] [--svg PATH]\n  \
-         dsspy diff     <before> <after>\n  \
+         dsspy diff     <before> <after> [--threads N]\n  \
          dsspy sketch   <capture>\n  \
-         dsspy report   <capture> --out <report.html>\n  \
-         dsspy csv      <capture> <instances|usecases>"
+         dsspy report   <capture> --out <report.html> [--threads N]\n  \
+         dsspy csv      <capture> <instances|usecases>\n\
+         \n--threads: analysis workers (0 = one per core, 1 = sequential)"
     );
     std::process::exit(2)
 }
@@ -35,13 +36,18 @@ fn main() {
         .filter(|a| {
             // Drop values that belong to a --flag VALUE pair.
             let idx = args.iter().position(|x| x == *a).unwrap_or(0);
-            idx == 0 || !matches!(args[idx - 1].as_str(), "--instance" | "--svg" | "--out")
+            idx == 0
+                || !matches!(
+                    args[idx - 1].as_str(),
+                    "--instance" | "--svg" | "--out" | "--threads"
+                )
         })
         .collect();
 
     let instance: usize = value("--instance")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let threads: usize = value("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
     let svg: Option<PathBuf> = value("--svg").map(PathBuf::from);
 
     let result = match command.as_str() {
@@ -49,7 +55,12 @@ fn main() {
             let Some(path) = positional.first() else {
                 usage()
             };
-            cmd_analyze(Path::new(path), flag("--json"), flag("--selective"))
+            cmd_analyze(
+                Path::new(path),
+                flag("--json"),
+                flag("--selective"),
+                threads,
+            )
         }
         "chart" => {
             let Some(path) = positional.first() else {
@@ -67,7 +78,7 @@ fn main() {
             let (Some(before), Some(after)) = (positional.first(), positional.get(1)) else {
                 usage()
             };
-            cmd_diff(Path::new(before), Path::new(after))
+            cmd_diff(Path::new(before), Path::new(after), threads)
         }
         "sketch" => {
             let Some(path) = positional.first() else {
@@ -86,7 +97,7 @@ fn main() {
                 usage()
             };
             let Some(out) = value("--out") else { usage() };
-            cmd_report(Path::new(path), Path::new(&out))
+            cmd_report(Path::new(path), Path::new(&out), threads)
         }
         _ => usage(),
     };

@@ -6,13 +6,17 @@
 //! and sketches it offline.
 //!
 //! ```text
-//! dsspy analyze  capture.dsspycap [--json] [--selective]
+//! dsspy analyze  capture.dsspycap [--json] [--selective] [--threads N]
 //! dsspy chart    capture.dsspycap --instance 0 [--svg out.svg]
 //! dsspy timeline capture.dsspycap --instance 0 [--svg out.svg]
-//! dsspy diff     before.dsspycap after.dsspycap
+//! dsspy diff     before.dsspycap after.dsspycap [--threads N]
 //! dsspy sketch   capture.dsspycap
-//! dsspy report   capture.dsspycap --out report.html
+//! dsspy report   capture.dsspycap --out report.html [--threads N]
 //! ```
+//!
+//! `--threads` controls the analysis fan-out of the commands that run the
+//! full pipeline (`0` = one worker per core, `1` = sequential); the output
+//! is identical for every value.
 //!
 //! Every command is a library function here so it is testable without
 //! spawning processes; the binary is a thin argv switch.
@@ -65,14 +69,19 @@ impl From<std::io::Error> for CliError {
 }
 
 /// `dsspy analyze`: full report for a capture, as text or JSON.
-pub fn cmd_analyze(path: &Path, json: bool, selective: bool) -> Result<String, CliError> {
+pub fn cmd_analyze(
+    path: &Path,
+    json: bool,
+    selective: bool,
+    threads: usize,
+) -> Result<String, CliError> {
     let capture = load_capture(path)?;
     let dsspy = if selective {
         Dsspy::new().selective()
     } else {
         Dsspy::new()
     };
-    let report = dsspy.analyze_capture(&capture);
+    let report = dsspy.with_threads(threads).analyze_capture(&capture);
     if json {
         serde_json::to_string_pretty(&report).map_err(|e| CliError::Json(e.to_string()))
     } else {
@@ -122,8 +131,8 @@ pub fn cmd_timeline(
 }
 
 /// `dsspy diff`: compare the verdicts of two captures.
-pub fn cmd_diff(before: &Path, after: &Path) -> Result<String, CliError> {
-    let dsspy = Dsspy::new();
+pub fn cmd_diff(before: &Path, after: &Path, threads: usize) -> Result<String, CliError> {
+    let dsspy = Dsspy::new().with_threads(threads);
     let before_report = dsspy.analyze_capture(&load_capture(before)?);
     let after_report = dsspy.analyze_capture(&load_capture(after)?);
     let diff = diff_reports(&before_report, &after_report);
@@ -155,9 +164,9 @@ pub fn cmd_csv(path: &Path, what: &str) -> Result<String, CliError> {
 }
 
 /// `dsspy report`: self-contained HTML report with embedded charts.
-pub fn cmd_report(path: &Path, out: &Path) -> Result<String, CliError> {
+pub fn cmd_report(path: &Path, out: &Path, threads: usize) -> Result<String, CliError> {
     let capture = load_capture(path)?;
-    let report = Dsspy::new().analyze_capture(&capture);
+    let report = Dsspy::new().with_threads(threads).analyze_capture(&capture);
     let html = html_report(&report, &capture.profiles);
     std::fs::write(out, &html)?;
     Ok(format!(
@@ -210,9 +219,9 @@ mod tests {
     #[test]
     fn analyze_text_and_json() {
         let path = temp_capture(true, "a.dsspycap");
-        let text = cmd_analyze(&path, false, false).unwrap();
+        let text = cmd_analyze(&path, false, false, 0).unwrap();
         assert!(text.contains("Long-Insert"), "{text}");
-        let json = cmd_analyze(&path, true, false).unwrap();
+        let json = cmd_analyze(&path, true, false, 0).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(parsed["instances"].is_array());
     }
@@ -220,9 +229,19 @@ mod tests {
     #[test]
     fn analyze_selective_filters_to_manual() {
         let path = temp_capture(true, "sel.dsspycap");
-        let json = cmd_analyze(&path, true, true).unwrap();
+        let json = cmd_analyze(&path, true, true, 1).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed["instances"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn analyze_output_does_not_depend_on_thread_count() {
+        let path = temp_capture(true, "threads.dsspycap");
+        let sequential = cmd_analyze(&path, true, false, 1).unwrap();
+        for threads in [2usize, 4, 0] {
+            let parallel = cmd_analyze(&path, true, false, threads).unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 
     #[test]
@@ -251,7 +270,7 @@ mod tests {
     fn diff_between_two_captures() {
         let hot = temp_capture(true, "before.dsspycap");
         let cold = temp_capture(false, "after.dsspycap");
-        let out = cmd_diff(&hot, &cold).unwrap();
+        let out = cmd_diff(&hot, &cold, 0).unwrap();
         assert!(out.contains("1 resolved"), "{out}");
         assert!(out.contains("cli_hot"));
     }
@@ -280,7 +299,7 @@ mod tests {
     fn report_writes_html() {
         let path = temp_capture(true, "r.dsspycap");
         let out = path.with_extension("html");
-        let msg = cmd_report(&path, &out).unwrap();
+        let msg = cmd_report(&path, &out, 0).unwrap();
         assert!(msg.contains("bytes"));
         let html = std::fs::read_to_string(&out).unwrap();
         assert!(html.contains("Long-Insert"));
@@ -288,7 +307,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_a_capture_error() {
-        let err = cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false).unwrap_err();
+        let err = cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false, 0).unwrap_err();
         assert!(matches!(err, CliError::Capture(_)));
     }
 }

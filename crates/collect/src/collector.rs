@@ -36,9 +36,12 @@ pub struct CollectorStats {
 
 /// Spawn the collector thread on `rx`.
 ///
-/// The thread accumulates events until it sees [`Msg::Stop`]; it then drains
-/// everything already in the channel (batches flushed by structures dropped
-/// before shutdown) and returns the per-instance event map.
+/// The thread accumulates events until it sees [`Msg::Stop`] (or all senders
+/// disconnect). The channel is FIFO, so every batch flushed before shutdown
+/// is received — and stored — before the `Stop` marker. Anything still
+/// arriving *after* the marker was recorded after session shutdown; those
+/// events are drained so senders never block, but only counted, into
+/// [`CollectorStats::dropped`].
 pub(crate) fn spawn(
     rx: Receiver<Msg>,
 ) -> JoinHandle<(HashMap<InstanceId, Vec<AccessEvent>>, CollectorStats)> {
@@ -47,23 +50,21 @@ pub(crate) fn spawn(
         .spawn(move || {
             let mut map: HashMap<InstanceId, Vec<AccessEvent>> = HashMap::new();
             let mut stats = CollectorStats::default();
-            let mut store =
-                |id: InstanceId, batch: Vec<AccessEvent>, stats: &mut CollectorStats| {
-                    stats.events += batch.len() as u64;
-                    stats.batches += 1;
-                    map.entry(id).or_default().extend(batch);
-                };
             // Phase 1: normal operation until Stop (or all senders gone).
-            loop {
-                match rx.recv() {
-                    Ok(Msg::Batch(id, batch)) => store(id, batch, &mut stats),
-                    Ok(Msg::Stop) | Err(_) => break,
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Batch(id, batch) => {
+                        stats.events += batch.len() as u64;
+                        stats.batches += 1;
+                        map.entry(id).or_default().extend(batch);
+                    }
+                    Msg::Stop => break,
                 }
             }
-            // Phase 2: drain batches that were already queued at shutdown.
+            // Phase 2: drain post-shutdown stragglers without storing them.
             while let Ok(msg) = rx.try_recv() {
-                if let Msg::Batch(id, batch) = msg {
-                    store(id, batch, &mut stats);
+                if let Msg::Batch(_, batch) = msg {
+                    stats.dropped += batch.len() as u64;
                 }
             }
             (map, stats)
@@ -83,9 +84,29 @@ pub struct Capture {
     pub stats: CollectorStats,
     /// Wall-clock duration of the session, in nanoseconds.
     pub session_nanos: u64,
+    /// Lazily-built id → `profiles` index, so [`Capture::profile`] is O(1)
+    /// however the capture was produced (assembled, deserialized, or built
+    /// field-by-field in tests). Not persisted.
+    #[serde(skip)]
+    index: std::sync::OnceLock<HashMap<InstanceId, usize>>,
 }
 
 impl Capture {
+    /// Build a capture from already-assembled profiles (persistence decode,
+    /// synthetic captures in tests).
+    pub fn new(
+        profiles: Vec<RuntimeProfile>,
+        stats: CollectorStats,
+        session_nanos: u64,
+    ) -> Capture {
+        Capture {
+            profiles,
+            stats,
+            session_nanos,
+            index: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Assemble a capture from the registry snapshot and the event map.
     pub(crate) fn assemble(
         instances: Vec<InstanceInfo>,
@@ -93,18 +114,28 @@ impl Capture {
         stats: CollectorStats,
         session_nanos: u64,
     ) -> Capture {
-        let profiles = instances
+        let profiles: Vec<RuntimeProfile> = instances
             .into_iter()
             .map(|info| {
                 let evs = events.remove(&info.id).unwrap_or_default();
                 RuntimeProfile::new(info, evs)
             })
             .collect();
-        Capture {
-            profiles,
-            stats,
-            session_nanos,
-        }
+        let capture = Capture::new(profiles, stats, session_nanos);
+        // The session is done growing, so pay for the index here rather than
+        // on the first lookup.
+        capture.id_index();
+        capture
+    }
+
+    fn id_index(&self) -> &HashMap<InstanceId, usize> {
+        self.index.get_or_init(|| {
+            self.profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.instance.id, i))
+                .collect()
+        })
     }
 
     /// Number of registered instances (the search-space denominator).
@@ -117,9 +148,9 @@ impl Capture {
         self.profiles.iter().map(|p| p.len()).sum()
     }
 
-    /// The profile of one instance, if it exists.
+    /// The profile of one instance, if it exists. O(1) via the id index.
     pub fn profile(&self, id: InstanceId) -> Option<&RuntimeProfile> {
-        self.profiles.iter().find(|p| p.instance.id == id)
+        self.id_index().get(&id).map(|&i| &self.profiles[i])
     }
 
     /// Profiles that actually saw at least one access event.
@@ -179,6 +210,28 @@ mod tests {
         assert_eq!(stats.events, 1);
         assert_eq!(stats.batches, 1);
         assert_eq!(map[&InstanceId(0)].len(), 1);
+    }
+
+    #[test]
+    fn batches_after_stop_are_counted_as_dropped() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        // Queue Stop and then a late batch *before* the collector starts:
+        // FIFO delivery then guarantees the batch is seen after the Stop
+        // marker, i.e. in the post-shutdown drain.
+        tx.send(Msg::Stop).unwrap();
+        tx.send(Msg::Batch(
+            InstanceId(9),
+            vec![
+                AccessEvent::at(0, AccessKind::Insert, 0, 1),
+                AccessEvent::at(1, AccessKind::Insert, 1, 2),
+            ],
+        ))
+        .unwrap();
+        let (map, stats) = spawn(rx).join().unwrap();
+        assert!(map.is_empty(), "post-shutdown events must not be stored");
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.batches, 0);
     }
 
     #[test]

@@ -166,11 +166,7 @@ pub fn read_capture(mut r: impl Read) -> Result<Capture, PersistError> {
         }
         profiles.push(RuntimeProfile::new(info, events));
     }
-    Ok(Capture {
-        profiles,
-        stats: header.stats,
-        session_nanos: header.session_nanos,
-    })
+    Ok(Capture::new(profiles, header.stats, header.session_nanos))
 }
 
 /// Save a capture to a file.

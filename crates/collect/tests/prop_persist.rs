@@ -58,14 +58,16 @@ fn arb_capture() -> impl Strategy<Value = Capture> {
             .enumerate()
             .map(|(i, _)| arb_profile(i as u64))
             .collect();
-        (profiles, any::<u32>(), any::<u32>()).prop_map(|(profiles, events, nanos)| Capture {
-            profiles,
-            stats: CollectorStats {
-                events: u64::from(events),
-                batches: u64::from(events) / 7,
-                dropped: 0,
-            },
-            session_nanos: u64::from(nanos),
+        (profiles, any::<u32>(), any::<u32>()).prop_map(|(profiles, events, nanos)| {
+            Capture::new(
+                profiles,
+                CollectorStats {
+                    events: u64::from(events),
+                    batches: u64::from(events) / 7,
+                    dropped: 0,
+                },
+                u64::from(nanos),
+            )
         })
     })
 }

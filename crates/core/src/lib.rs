@@ -39,5 +39,5 @@ pub use evaluation::{
 };
 pub use export::{instances_csv, use_cases_csv};
 pub use pipeline::{AnalysisConfig, Dsspy};
-pub use report::{InstanceReport, Report};
+pub use report::{AnalysisTimings, InstanceReport, InstanceTiming, Report};
 pub use transform::{sketch_for, sketches, TransformSketch};

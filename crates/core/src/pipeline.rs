@@ -1,11 +1,21 @@
 //! The analysis pipeline: capture → patterns → use cases → report.
+//!
+//! Each instance's analysis (mine → regularity gate → classify → advisories)
+//! is independent of every other instance's, so the pipeline dogfoods its
+//! own substrate: [`Dsspy::analyze_capture`] fans the per-instance work out
+//! over [`dsspy_parallel::par_map`], which preserves registration order —
+//! the resulting [`Report`] is byte-for-byte identical no matter how many
+//! worker threads ran it.
+
+use std::time::Instant;
 
 use dsspy_collect::{Capture, Session, SessionConfig};
+use dsspy_events::RuntimeProfile;
 use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
 use dsspy_usecases::{advisories, classify, AdvisoryConfig, Thresholds};
 use serde::{Deserialize, Serialize};
 
-use crate::report::{InstanceReport, Report};
+use crate::report::{AnalysisTimings, InstanceReport, InstanceTiming, Report};
 
 /// Configuration of the post-mortem analysis phases.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -23,6 +33,23 @@ pub struct AnalysisConfig {
     /// Misuse-advisory tunables (§II-A structural findings).
     #[serde(default = "AdvisoryConfig::default")]
     pub advisories: AdvisoryConfig,
+    /// Worker threads for the per-instance analysis fan-out: `0` (the
+    /// default) resolves to [`dsspy_parallel::default_threads`], `1` runs
+    /// the plain sequential loop on the calling thread.
+    #[serde(default)]
+    pub threads: usize,
+}
+
+impl AnalysisConfig {
+    /// The worker count the analysis will actually use (`0` → one per
+    /// core).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            dsspy_parallel::default_threads()
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// The DSspy tool: one value bundling session and analysis configuration.
@@ -59,6 +86,14 @@ impl Dsspy {
         self
     }
 
+    /// Set the analysis worker-thread count (`0` = one per core, `1` =
+    /// sequential). The report is identical for every value; only the wall
+    /// clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Dsspy {
+        self.analysis.threads = threads;
+        self
+    }
+
     /// Run `program` under a profiling session and analyze what it did.
     ///
     /// This is the full Fig. 4 pipeline in one call: the closure plays the
@@ -74,30 +109,71 @@ impl Dsspy {
 
     /// Post-mortem analysis of an existing capture (e.g. one loaded from
     /// disk or produced by a long-running session managed by the caller).
+    ///
+    /// Instances are analyzed independently on
+    /// [`AnalysisConfig::resolved_threads`] workers; results are
+    /// reassembled in registration order, so the report does not depend on
+    /// the thread count.
     pub fn analyze_capture(&self, capture: &Capture) -> Report {
-        let mut instances = Vec::with_capacity(capture.profiles.len());
-        for profile in &capture.profiles {
-            if self.analysis.selective && profile.instance.origin != dsspy_events::Origin::Manual {
-                continue;
-            }
-            let analysis = analyze(profile, &self.analysis.miner);
-            let verdict = regularity(&analysis, &self.analysis.regularity);
-            let use_cases = classify(&profile.instance, &analysis, &self.analysis.thresholds);
-            let advisories = advisories(profile, &self.analysis.advisories);
-            instances.push(InstanceReport {
+        let started = Instant::now();
+        let profiles: Vec<&RuntimeProfile> = capture
+            .profiles
+            .iter()
+            .filter(|profile| {
+                !self.analysis.selective || profile.instance.origin == dsspy_events::Origin::Manual
+            })
+            .collect();
+        let threads = self.analysis.resolved_threads();
+        let analyzed = if threads <= 1 {
+            profiles.iter().map(|p| self.analyze_one(p)).collect()
+        } else {
+            dsspy_parallel::par_map(&profiles, threads, |p| self.analyze_one(p))
+        };
+        let mut instances = Vec::with_capacity(analyzed.len());
+        let mut per_instance = Vec::with_capacity(analyzed.len());
+        for (report, timing) in analyzed {
+            instances.push(report);
+            per_instance.push(timing);
+        }
+        Report {
+            instances,
+            stats: capture.stats,
+            session_nanos: capture.session_nanos,
+            timings: AnalysisTimings {
+                per_instance,
+                wall_nanos: started.elapsed().as_nanos() as u64,
+                threads,
+            },
+        }
+    }
+
+    /// The per-instance unit of work: mine, gate, classify, advise — with
+    /// each phase timed.
+    fn analyze_one(&self, profile: &RuntimeProfile) -> (InstanceReport, InstanceTiming) {
+        let mining = Instant::now();
+        let analysis = analyze(profile, &self.analysis.miner);
+        let verdict = regularity(&analysis, &self.analysis.regularity);
+        let mining_nanos = mining.elapsed().as_nanos() as u64;
+
+        let classify_started = Instant::now();
+        let use_cases = classify(&profile.instance, &analysis, &self.analysis.thresholds);
+        let advisories = advisories(profile, &self.analysis.advisories);
+        let classify_nanos = classify_started.elapsed().as_nanos() as u64;
+
+        (
+            InstanceReport {
                 instance: profile.instance.clone(),
                 events: profile.len(),
                 analysis,
                 regularity: verdict,
                 use_cases,
                 advisories,
-            });
-        }
-        Report {
-            instances,
-            stats: capture.stats,
-            session_nanos: capture.session_nanos,
-        }
+            },
+            InstanceTiming {
+                mining_nanos,
+                classify_nanos,
+            },
+        )
     }
 }
 

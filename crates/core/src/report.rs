@@ -36,6 +36,60 @@ impl InstanceReport {
     }
 }
 
+/// Wall-clock cost of analyzing one instance, split into the two analysis
+/// phases of Fig. 4 (pattern mining vs. use-case classification).
+///
+/// Diagnostic only: timings vary run to run, so they are excluded from
+/// serialization to keep serialized [`Report`]s byte-identical across runs
+/// and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstanceTiming {
+    /// Pattern mining + the regularity gate, nanoseconds.
+    pub mining_nanos: u64,
+    /// Use-case classification + the advisory scan, nanoseconds.
+    pub classify_nanos: u64,
+}
+
+impl InstanceTiming {
+    /// Total analysis time spent on this instance.
+    pub fn total_nanos(&self) -> u64 {
+        self.mining_nanos + self.classify_nanos
+    }
+}
+
+/// Timing of one `analyze_capture` pass: per-instance phase costs plus the
+/// wall clock of the whole (possibly parallel) pass. Not serialized.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisTimings {
+    /// One entry per entry of [`Report::instances`], same order.
+    pub per_instance: Vec<InstanceTiming>,
+    /// Wall-clock duration of the whole analysis pass, nanoseconds.
+    pub wall_nanos: u64,
+    /// Worker threads the pass actually used (after resolving `0`).
+    pub threads: usize,
+}
+
+impl AnalysisTimings {
+    /// Summed per-instance analysis time — the CPU cost of the pass. With
+    /// `threads` workers the wall clock can be up to `threads`× smaller.
+    pub fn cpu_nanos(&self) -> u64 {
+        self.per_instance
+            .iter()
+            .map(InstanceTiming::total_nanos)
+            .sum()
+    }
+
+    /// Summed pattern-mining time across instances.
+    pub fn mining_nanos(&self) -> u64 {
+        self.per_instance.iter().map(|t| t.mining_nanos).sum()
+    }
+
+    /// Summed classification time across instances.
+    pub fn classify_nanos(&self) -> u64 {
+        self.per_instance.iter().map(|t| t.classify_nanos).sum()
+    }
+}
+
 /// The full session report — the *Advice* output of Fig. 4.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Report {
@@ -45,6 +99,12 @@ pub struct Report {
     pub stats: CollectorStats,
     /// Wall-clock duration of the profiled execution, nanoseconds.
     pub session_nanos: u64,
+    /// How long the analysis itself took, per instance and phase. Skipped
+    /// by serde: a report loaded from JSON carries empty timings, and two
+    /// analyses of the same capture serialize identically no matter how
+    /// many threads (or how much wall time) each one used.
+    #[serde(skip)]
+    pub timings: AnalysisTimings,
 }
 
 impl Report {
@@ -295,7 +355,7 @@ mod advisory_tests {
                         break;
                     }
                     let _ = *heap.get(i);
-                    i = if right < heap.len() && (round + i) % 2 == 0 {
+                    i = if right < heap.len() && (round + i).is_multiple_of(2) {
                         right
                     } else {
                         left

@@ -68,8 +68,10 @@ impl RuntimeProfile {
 
     /// Aggregate statistics over the profile.
     pub fn stats(&self) -> ProfileStats {
-        let mut s = ProfileStats::default();
-        s.total = self.events.len();
+        let mut s = ProfileStats {
+            total: self.events.len(),
+            ..ProfileStats::default()
+        };
         for e in &self.events {
             s.by_kind[e.kind as usize] += 1;
             match e.class() {

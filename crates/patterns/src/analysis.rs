@@ -446,10 +446,13 @@ mod tests {
     #[test]
     fn sort_before_insert_not_counted() {
         let mut events = vec![AccessEvent::whole(0, AccessKind::Sort, 0)];
-        let mut seq = 1u64;
         for i in 0..150u32 {
-            events.push(AccessEvent::at(seq, AccessKind::Insert, i, i + 1));
-            seq += 1;
+            events.push(AccessEvent::at(
+                u64::from(i) + 1,
+                AccessKind::Insert,
+                i,
+                i + 1,
+            ));
         }
         let a = run(events);
         assert_eq!(a.metrics.sorts_after_insert, 0);

@@ -296,14 +296,10 @@ fn mine_thread(
                 // could still look front-compatible; require monotone growth
                 // for back runs so refill phases separate.
                 let contiguous = match acc.events.last().and_then(|p| p.index()) {
-                    None => true,
-                    Some(prev) => {
-                        if new_back {
-                            idx == prev + 1
-                        } else {
-                            true // front inserts always land at 0
-                        }
-                    }
+                    // Front inserts always land at 0, so only back runs are
+                    // constrained.
+                    Some(prev) if new_back => idx == prev + 1,
+                    _ => true,
                 };
                 if acc.events.is_empty() {
                     if front || back {

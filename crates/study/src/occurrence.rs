@@ -56,7 +56,7 @@ pub fn occurrence_rows() -> Vec<ProgramOccurrence> {
                 .filter(|k| k.is_dynamic() && **k != DsKind::Deque)
                 .map(|k| (*k, scan.count(*k)))
                 .collect();
-            by_kind.sort_by(|a, b| b.1.cmp(&a.1));
+            by_kind.sort_by_key(|entry| std::cmp::Reverse(entry.1));
             ProgramOccurrence {
                 name: model.name.clone(),
                 domain: model.domain,

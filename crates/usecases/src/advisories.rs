@@ -164,7 +164,7 @@ mod tests {
             while 2 * i + 1 < n {
                 events.push(AccessEvent::at(seq, AccessKind::Read, i, n));
                 seq += 1;
-                i = if (r + i as usize) % 2 == 0 {
+                i = if (r + i as usize).is_multiple_of(2) {
                     2 * i + 1
                 } else {
                     2 * i + 2

@@ -97,14 +97,14 @@ impl AstroGrep {
 
         // The line store: loaded once, then fully scanned per query → FLR.
         let mut line_store = list::<String>(session, CLASS, "LoadCorpus", 52);
-        for f in 0..files {
+        for meta in file_meta.iter_mut().take(files) {
             let mut size = 0u64;
             for _ in 0..lines_per_file {
                 let line = make_line(&mut rng);
                 size += line.len() as u64;
                 line_store.add(line);
             }
-            file_meta[f].add(size);
+            meta.add(size);
         }
 
         // The hit list: grows throughout the whole search phase → LI.

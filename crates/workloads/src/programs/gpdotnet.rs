@@ -6,14 +6,14 @@
 //!
 //! 1. `GPModelGlobals.GenerateTerminalSet:120` — Frequent-Long-Read on the
 //!    terminal-set array (an aggregate loop over the input series);
-//! 2. + 3. `CHPopulation..ctor:14` — Frequent-Long-Read *and* Long-Insert on
-//!    the population list (it is refilled by crossover every generation and
-//!    scanned for fitness/statistics);
-//! 4. + 5. `CHPopulation.FitnessProportionateSelection:68` — Frequent-Long-Read
-//!    and Long-Insert on the cumulative-fitness structure driving
-//!    roulette-wheel selection. (The paper shows it as `Array<double>`; a
-//!    fixed-size Rust array cannot host insert events, so it is a list
-//!    here — see EXPERIMENTS.md.)
+//! 2. (and 3.) `CHPopulation..ctor:14` — Frequent-Long-Read *and*
+//!    Long-Insert on the population list (it is refilled by crossover every
+//!    generation and scanned for fitness/statistics);
+//! 4. (and 5.) `CHPopulation.FitnessProportionateSelection:68` —
+//!    Frequent-Long-Read and Long-Insert on the cumulative-fitness structure
+//!    driving roulette-wheel selection. (The paper shows it as
+//!    `Array<double>`; a fixed-size Rust array cannot host insert events, so
+//!    it is a list here — see EXPERIMENTS.md.)
 //!
 //! Chromosome construction evaluates fitness eagerly (construction *is* the
 //! expensive part), which is exactly why the paper's recommended parallel

@@ -93,9 +93,9 @@ impl Mandelbrot {
         // array is later read in full by the coloring pass, repeatedly —
         // one pass per palette band in the original; FLR flags it.
         let mut counts = array::<u32>(session, CLASS, "ComputeCounts", 48, w * h);
-        for j in 0..h {
-            for i in 0..w {
-                counts.set(j * w + i, escape_time(xs_raw[i], ys_raw[j]));
+        for (j, &y) in ys_raw.iter().enumerate() {
+            for (i, &x) in xs_raw.iter().enumerate() {
+                counts.set(j * w + i, escape_time(x, y));
             }
         }
 
@@ -183,9 +183,9 @@ impl Workload for Mandelbrot {
         let xs: Vec<f64> = (0..w).map(|i| -2.5 + 3.5 * i as f64 / w as f64).collect();
         let ys: Vec<f64> = (0..h).map(|j| -1.0 + 2.0 * j as f64 / h as f64).collect();
         let mut acc = 0u64;
-        for j in 0..h {
-            for i in 0..w {
-                acc = acc.wrapping_add(u64::from(colorize(escape_time(xs[i], ys[j]), &palette)));
+        for &y in &ys {
+            for &x in &xs {
+                acc = acc.wrapping_add(u64::from(colorize(escape_time(x, y), &palette)));
             }
         }
         std::hint::black_box(acc);

@@ -21,7 +21,7 @@ fn main() {
             let mut i = 0usize;
             while 2 * i + 1 < heap.len() {
                 let _ = *heap.get(i);
-                i = if (round + i) % 2 == 0 {
+                i = if (round + i).is_multiple_of(2) {
                     2 * i + 1
                 } else {
                     2 * i + 2

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: run this before sending a change.
+#   1. formatting        cargo fmt --check
+#   2. lints             cargo clippy, whole workspace, warnings denied
+#   3. tier-1 verify     release build + tests (see ROADMAP.md)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "tier1: OK"

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the authoring API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`, `criterion_group!`/`criterion_main!` —
+//! with a much simpler engine: each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a fixed measurement window, and the
+//! mean ns/iter (plus derived throughput) is printed to stdout. No
+//! statistics, plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit of work per iteration, used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times the closure handed to it by a benchmark function.
+pub struct Bencher {
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: one call, also an estimate of per-iteration cost.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+
+        // Measure for a fixed window, bounded iteration count.
+        let window = Duration::from_millis(200);
+        let est = first.max(Duration::from_nanos(20));
+        let iters = (window.as_nanos() / est.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_nanos = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the stub's
+    /// measurement window is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration work, enabling throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { mean_nanos: 0.0 };
+        f(&mut bencher);
+        self.report(&id, bencher.mean_nanos);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { mean_nanos: 0.0 };
+        f(&mut bencher, input);
+        self.report(&id, bencher.mean_nanos);
+        self
+    }
+
+    /// Finish the group (printing happens per-bench; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, mean_nanos: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / mean_nanos; // bytes/ns == GiB-ish/s
+                format!("  ({gib:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / mean_nanos * 1e3;
+                format!("  ({meps:.1} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{: <40} {: >14.1} ns/iter{}",
+            self.name, id.id, mean_nanos, rate
+        );
+        self.criterion.benches_run += 1;
+    }
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from_parameter("bench"), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub/sum");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        assert_eq!(criterion.benches_run, 2);
+    }
+}

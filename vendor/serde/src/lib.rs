@@ -1,0 +1,524 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this vendored
+//! version uses a concrete [`Value`] tree as the interchange data model:
+//! [`Serialize`] renders a type into a `Value`, [`Deserialize`] rebuilds the
+//! type from one. The `serde_json` stand-in then formats/parses `Value`s.
+//! This is slower than real serde but API-compatible with everything the
+//! workspace uses: `derive(Serialize, Deserialize)` with the `default`,
+//! `default = "path"` and `skip` field attributes, externally tagged enums,
+//! and newtype structs that transparently wrap their inner value.
+//!
+//! [`Value`] lives here (not in `serde_json`) so the derive macros and the
+//! JSON crate share one definition; `serde_json` re-exports it. Maps are
+//! ordered `Vec<(String, Value)>` pairs, which keeps serialization
+//! deterministic: the same input always renders to the same JSON bytes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The interchange data model: what every serializable type renders into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, in insertion order (deterministic round-trips).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Seq(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Map(_))
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects, `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// `value["key"]` on objects; missing keys and non-objects yield `Null`.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` on arrays; out-of-range and non-arrays yield `Null`.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Seq(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found, where.
+#[derive(Clone, Debug)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, while_in: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {while_in}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Render into the interchange data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the interchange data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Ordered-map field lookup, used by derived `Deserialize` impls.
+pub fn find_field<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// --- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<usize, DeError> {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", "usize"))?;
+        usize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        let n = *self as i64;
+        if n >= 0 {
+            Value::U64(n as u64)
+        } else {
+            Value::I64(n)
+        }
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<isize, DeError> {
+        let n = v
+            .as_i64()
+            .ok_or_else(|| DeError::expected("integer", "isize"))?;
+        isize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON cannot represent NaN/inf; match serde_json's `null`.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(String::from)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Static-string deserialization leaks the parsed string. The workspace's
+/// study tables carry `&'static str` labels; they deserialize rarely (tests
+/// only), so the leak is an acceptable stub trade-off.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "&str"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+// --- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple"))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected {}-tuple, got array of {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::U64(3)),
+            ("b".to_string(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert!(v["b"].is_array());
+        assert!(v["missing"].is_null());
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let original: Vec<(u64, f64)> = vec![(1, 0.5), (2, -3.25)];
+        let back = Vec::<(u64, f64)>::from_value(&original.to_value()).unwrap();
+        assert_eq!(original, back);
+
+        let arr: [usize; 3] = [7, 8, 9];
+        assert_eq!(<[usize; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+
+        let opt: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_value(&opt.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn signed_encoding_splits_on_sign() {
+        assert_eq!(5i64.to_value(), Value::U64(5));
+        assert_eq!((-5i64).to_value(), Value::I64(-5));
+        assert_eq!(i64::from_value(&Value::U64(5)).unwrap(), 5);
+        assert_eq!(isize::from_value(&Value::I64(-9)).unwrap(), -9);
+    }
+}

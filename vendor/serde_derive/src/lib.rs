@@ -1,0 +1,539 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Real serde_derive builds on `syn`/`quote`; neither is available offline,
+//! so this version hand-parses the item's `TokenStream`. That works because
+//! the Value-tree data model of the vendored `serde` only ever needs field
+//! and variant *names*: serialization reaches values through method calls on
+//! `&self.field`, and deserialization lets the struct literal infer every
+//! field type. Types are skipped over token-by-token (tracking angle-bracket
+//! depth so `Vec<(u64, f64)>` doesn't end a field early).
+//!
+//! Supported shapes: named structs, tuple structs (1-field transparent, like
+//! real serde's newtype handling), and externally tagged enums with unit,
+//! newtype, tuple and struct variants (discriminants like `Read = 0` are
+//! skipped). Supported field attributes: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(skip)]`. Generic types are
+//! rejected with a clear panic — the workspace derives only concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, PartialEq)]
+enum FieldAttr {
+    /// Plain field: required on deserialize.
+    None,
+    /// `#[serde(default)]`: `Default::default()` when missing.
+    Default,
+    /// `#[serde(default = "path")]`: call `path()` when missing.
+    DefaultPath(String),
+    /// `#[serde(skip)]`: never serialized, always defaulted.
+    Skip,
+}
+
+struct Field {
+    name: String,
+    attr: FieldAttr,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (vendored Value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored Value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// --- parsing --------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tok: &TokenTree, s: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Advance past `#[...]` attributes starting at `i`, reporting any serde
+/// field attribute seen into `attr`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, attr: &mut FieldAttr) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            parse_attr_body(g.stream(), attr);
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Inspect one attribute body (`serde(...)`, `doc = "..."`, ...).
+fn parse_attr_body(stream: TokenStream, attr: &mut FieldAttr) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => return,
+    };
+    match inner.first() {
+        Some(tok) if is_ident(tok, "skip") => *attr = FieldAttr::Skip,
+        Some(tok) if is_ident(tok, "default") => {
+            if inner.len() >= 3 && is_punct(&inner[1], '=') {
+                let lit = inner[2].to_string();
+                let path = lit.trim_matches('"').to_string();
+                *attr = FieldAttr::DefaultPath(path);
+            } else {
+                *attr = FieldAttr::Default;
+            }
+        }
+        other => panic!(
+            "serde_derive stub: unsupported serde attribute starting with {:?}",
+            other.map(ToString::to_string)
+        ),
+    }
+}
+
+/// Advance past `pub` / `pub(crate)` visibility.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut ignored = FieldAttr::None;
+    let mut i = skip_attrs(&toks, 0, &mut ignored);
+    i = skip_visibility(&toks, i);
+
+    let is_struct = if is_ident(&toks[i], "struct") {
+        true
+    } else if is_ident(&toks[i], "enum") {
+        false
+    } else {
+        panic!(
+            "serde_derive stub: expected `struct` or `enum`, got {}",
+            toks[i]
+        );
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_struct {
+                Input::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            } else {
+                Input::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+            Input::TupleStruct {
+                name,
+                arity: count_top_level_fields(g.stream()),
+            }
+        }
+        other => panic!(
+            "serde_derive stub: unsupported item shape for `{name}` (next token: {:?})",
+            other.map(ToString::to_string)
+        ),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attr = FieldAttr::None;
+        i = skip_attrs(&toks, i, &mut attr);
+        i = skip_visibility(&toks, i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attr });
+    }
+    fields
+}
+
+/// Count comma-separated items at angle-bracket depth 0 (tuple-struct and
+/// tuple-variant arity).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut seen_content = false;
+    let mut depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if seen_content {
+                        count += 1;
+                        seen_content = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_content = true;
+    }
+    if seen_content {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut ignored = FieldAttr::None;
+        i = skip_attrs(&toks, i, &mut ignored);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`Read = 0`).
+        if i < toks.len() && is_punct(&toks[i], '=') {
+            i += 1;
+            while i < toks.len() && !is_punct(&toks[i], ',') {
+                i += 1;
+            }
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------------
+
+/// `fields.push(...)` lines for serializing named fields bound as local
+/// variables (`prefix` "self." for structs, "" for destructured variants).
+fn serialize_named_fields(fields: &[Field], prefix: &str) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        if f.attr == FieldAttr::Skip {
+            continue;
+        }
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&{1}{0})),",
+            f.name, prefix
+        ));
+    }
+    format!("::serde::Value::Map(::std::vec::Vec::from([{entries}]))")
+}
+
+/// A struct-literal body deserializing named fields out of `map`.
+fn deserialize_named_fields(fields: &[Field], ty: &str) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let missing = match &f.attr {
+            FieldAttr::None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\", \"{}\"))",
+                f.name, ty
+            ),
+            FieldAttr::Default | FieldAttr::Skip => {
+                "::std::default::Default::default()".to_string()
+            }
+            FieldAttr::DefaultPath(path) => format!("{path}()"),
+        };
+        if f.attr == FieldAttr::Skip {
+            body.push_str(&format!("{}: {missing},", f.name));
+        } else {
+            body.push_str(&format!(
+                "{0}: match ::serde::find_field(map, \"{0}\") {{ \
+                     ::std::option::Option::Some(value) => ::serde::Deserialize::from_value(value)?, \
+                     ::std::option::Option::None => {missing}, \
+                 }},",
+                f.name
+            ));
+        }
+    }
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let map = serialize_named_fields(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ {map} }} \
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                // Newtype structs are transparent, as in real serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(",")
+                )
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{tag}(f0) => ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{tag}\"), ::serde::Serialize::to_value(f0))\
+                         ])),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{tag}({}) => ::serde::Value::Map(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{tag}\"), \
+                                  ::serde::Value::Seq(::std::vec::Vec::from([{}])))\
+                             ])),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{tag} {{ {} }} => ::serde::Value::Map(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{tag}\"), {inner})\
+                             ])),",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let body = deserialize_named_fields(fields, name);
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                         let map = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?; \
+                         ::std::result::Result::Ok({name} {{ {body} }}) \
+                     }} \
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?; \
+                     if items.len() != {arity} {{ \
+                         return ::std::result::Result::Err(::serde::DeError::expected(\"array of {arity}\", \"{name}\")); \
+                     }} \
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(",")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{tag}),"
+                    )),
+                    VariantKind::Newtype => payload_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{tag}(\
+                             ::serde::Deserialize::from_value(_payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{tag}\" => {{ \
+                                 let items = _payload.as_array().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"array\", \"{name}::{tag}\"))?; \
+                                 if items.len() != {n} {{ \
+                                     return ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\"array of {n}\", \"{name}::{tag}\")); \
+                                 }} \
+                                 ::std::result::Result::Ok({name}::{tag}({})) \
+                             }},",
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let body = deserialize_named_fields(fields, &format!("{name}::{tag}"));
+                        payload_arms.push_str(&format!(
+                            "\"{tag}\" => {{ \
+                                 let map = _payload.as_map().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"map\", \"{name}::{tag}\"))?; \
+                                 ::std::result::Result::Ok({name}::{tag} {{ {body} }}) \
+                             }},",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                         match v {{ \
+                             ::serde::Value::Str(tag) => match tag.as_str() {{ \
+                                 {unit_arms} \
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))), \
+                             }}, \
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                                 let (tag, _payload) = &entries[0]; \
+                                 match tag.as_str() {{ \
+                                     {payload_arms} \
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))), \
+                                 }} \
+                             }} \
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"variant string or single-entry map\", \"{name}\")), \
+                         }} \
+                     }} \
+                 }}"
+            )
+        }
+    }
+}
