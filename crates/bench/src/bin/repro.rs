@@ -5,16 +5,18 @@
 //! repro --table 4 --scale full       # Table IV at evaluation scale
 //! repro --figure 1 --svg out.svg     # Fig. 1 chart as SVG
 //! repro --speedups                   # §V per-use-case speedups
+//! repro --all --telemetry t.json     # self-observe: one span per artifact
 //! ```
 
 use dsspy_bench::tables;
 use dsspy_parallel::default_threads;
+use dsspy_telemetry::{export, Telemetry};
 use dsspy_workloads::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--all] [--table N] [--figure N] [--speedups] [--findings] [--ablation] \
-         [--scale test|full] [--runs N] [--threads N] [--svg PATH]"
+         [--scale test|full] [--runs N] [--threads N] [--svg PATH] [--telemetry PATH]"
     );
     std::process::exit(2)
 }
@@ -31,6 +33,7 @@ fn main() {
     let mut runs = 3usize;
     let mut threads = default_threads();
     let mut svg_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -82,6 +85,13 @@ fn main() {
                     usage();
                 }
             }
+            "--telemetry" => {
+                i += 1;
+                telemetry_path = args.get(i).cloned();
+                if telemetry_path.is_none() {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -101,20 +111,32 @@ fn main() {
         all = true;
     }
 
-    let print_table = |n: u32| match n {
-        1 => println!("{}", tables::table1()),
-        2 => println!("{}", tables::table2_with_threads(threads)),
-        3 => println!("{}", tables::table3_with_threads(threads)),
-        4 => println!("{}", tables::table4(scale, runs, threads)),
-        5 => println!("{}", tables::table5(scale)),
-        6 => println!("{}", tables::table6(scale)),
-        _ => {
-            eprintln!("no table {n} in the paper (1–6)");
-            std::process::exit(2);
+    // With --telemetry, each reproduced artifact runs under its own span so
+    // the export shows where a full `repro --all` spends its time.
+    let telemetry = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let print_table = |n: u32| {
+        let _span = telemetry.span_lazy("repro", || format!("table{n}"));
+        match n {
+            1 => println!("{}", tables::table1()),
+            2 => println!("{}", tables::table2_with_threads(threads)),
+            3 => println!("{}", tables::table3_with_threads(threads)),
+            4 => println!("{}", tables::table4(scale, runs, threads)),
+            5 => println!("{}", tables::table5(scale)),
+            6 => println!("{}", tables::table6(scale)),
+            _ => {
+                eprintln!("no table {n} in the paper (1–6)");
+                std::process::exit(2);
+            }
         }
     };
 
     if let Some(n) = figure {
+        let _span = telemetry.span_lazy("repro", || format!("figure{n}"));
         let (text, svg) = match n {
             1 => (tables::figure1_text(), tables::figure1_svg()),
             2 => (tables::figure2(), tables::figure2_svg()),
@@ -140,19 +162,36 @@ fn main() {
             print_table(n);
             println!();
         }
-        println!("{}", tables::figure2());
-        println!("{}", tables::figure3());
-        println!("{}", dsspy_study::study_findings().render());
-        println!("{}", tables::speedups(runs));
+        {
+            let _span = telemetry.span("repro", "figures");
+            println!("{}", tables::figure2());
+            println!("{}", tables::figure3());
+        }
+        {
+            let _span = telemetry.span("repro", "findings");
+            println!("{}", dsspy_study::study_findings().render());
+        }
+        {
+            let _span = telemetry.span("repro", "speedups");
+            println!("{}", tables::speedups(runs));
+        }
     } else {
         if want_findings {
+            let _span = telemetry.span("repro", "findings");
             println!("{}", dsspy_study::study_findings().render());
         }
         if want_speedups {
+            let _span = telemetry.span("repro", "speedups");
             println!("{}", tables::speedups(runs));
         }
         if want_ablation {
+            let _span = telemetry.span("repro", "ablation");
             println!("{}", tables::ablation_table());
         }
+    }
+
+    if let Some(path) = &telemetry_path {
+        std::fs::write(path, export::to_json(&telemetry.snapshot())).expect("write telemetry");
+        eprintln!("(telemetry written to {path})");
     }
 }

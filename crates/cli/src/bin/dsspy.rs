@@ -2,18 +2,24 @@
 
 use std::path::{Path, PathBuf};
 
-use dsspy_cli::{cmd_analyze, cmd_chart, cmd_csv, cmd_diff, cmd_report, cmd_sketch, cmd_timeline};
+use dsspy_cli::{
+    cmd_analyze, cmd_chart, cmd_csv, cmd_demo, cmd_diff, cmd_report, cmd_sketch, cmd_telemetry,
+    cmd_timeline,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dsspy analyze  <capture> [--json] [--selective] [--threads N]\n  \
+        "usage:\n  dsspy analyze  <capture> [--json] [--selective] [--threads N] [--telemetry PATH]\n  \
          dsspy chart    <capture> [--instance N] [--svg PATH]\n  \
          dsspy timeline <capture> [--instance N] [--svg PATH]\n  \
          dsspy diff     <before> <after> [--threads N]\n  \
          dsspy sketch   <capture>\n  \
-         dsspy report   <capture> --out <report.html> [--threads N]\n  \
-         dsspy csv      <capture> <instances|usecases>\n\
-         \n--threads: analysis workers (0 = one per core, 1 = sequential)"
+         dsspy report   <capture> --out <report.html> [--threads N] [--telemetry PATH]\n  \
+         dsspy csv      <capture> <instances|usecases>\n  \
+         dsspy telemetry <capture> [--threads N] [--format summary|json|prometheus|trace] [--check]\n  \
+         dsspy demo     <out.dsspycap> [--workload NAME]\n\
+         \n--threads: analysis workers (0 = one per core, 1 = sequential)\n\
+         --telemetry PATH: self-observe the run; write the snapshot to PATH as JSON"
     );
     std::process::exit(2)
 }
@@ -39,7 +45,13 @@ fn main() {
             idx == 0
                 || !matches!(
                     args[idx - 1].as_str(),
-                    "--instance" | "--svg" | "--out" | "--threads"
+                    "--instance"
+                        | "--svg"
+                        | "--out"
+                        | "--threads"
+                        | "--telemetry"
+                        | "--format"
+                        | "--workload"
                 )
         })
         .collect();
@@ -49,6 +61,7 @@ fn main() {
         .unwrap_or(0);
     let threads: usize = value("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
     let svg: Option<PathBuf> = value("--svg").map(PathBuf::from);
+    let telemetry_out: Option<PathBuf> = value("--telemetry").map(PathBuf::from);
 
     let result = match command.as_str() {
         "analyze" => {
@@ -60,6 +73,7 @@ fn main() {
                 flag("--json"),
                 flag("--selective"),
                 threads,
+                telemetry_out.as_deref(),
             )
         }
         "chart" => {
@@ -97,7 +111,25 @@ fn main() {
                 usage()
             };
             let Some(out) = value("--out") else { usage() };
-            cmd_report(Path::new(path), Path::new(&out), threads)
+            cmd_report(
+                Path::new(path),
+                Path::new(&out),
+                threads,
+                telemetry_out.as_deref(),
+            )
+        }
+        "telemetry" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let format = value("--format").unwrap_or_else(|| "summary".to_string());
+            cmd_telemetry(Path::new(path), threads, &format, flag("--check"))
+        }
+        "demo" => {
+            let Some(out) = positional.first() else {
+                usage()
+            };
+            cmd_demo(Path::new(out), value("--workload").as_deref())
         }
         _ => usage(),
     };

@@ -6,26 +6,39 @@
 //! and sketches it offline.
 //!
 //! ```text
-//! dsspy analyze  capture.dsspycap [--json] [--selective] [--threads N]
+//! dsspy analyze  capture.dsspycap [--json] [--selective] [--threads N] [--telemetry t.json]
 //! dsspy chart    capture.dsspycap --instance 0 [--svg out.svg]
 //! dsspy timeline capture.dsspycap --instance 0 [--svg out.svg]
 //! dsspy diff     before.dsspycap after.dsspycap [--threads N]
 //! dsspy sketch   capture.dsspycap
-//! dsspy report   capture.dsspycap --out report.html [--threads N]
+//! dsspy report   capture.dsspycap --out report.html [--threads N] [--telemetry t.json]
+//! dsspy telemetry capture.dsspycap [--format summary|json|prometheus|trace] [--check]
+//! dsspy demo     out.dsspycap [--workload NAME]
 //! ```
 //!
 //! `--threads` controls the analysis fan-out of the commands that run the
 //! full pipeline (`0` = one worker per core, `1` = sequential); the output
 //! is identical for every value.
 //!
+//! `--telemetry PATH` runs the same pipeline under an enabled
+//! [`dsspy_telemetry::Telemetry`] and writes the resulting snapshot —
+//! decode volume, per-instance analysis spans, Table IV-style overhead
+//! accounting — to `PATH` as JSON. `dsspy telemetry` renders that same
+//! instrumented run directly in any of the four export formats, and
+//! `--check` validates the Prometheus exposition before printing it.
+//!
 //! Every command is a library function here so it is testable without
 //! spawning processes; the binary is a thin argv switch.
 
-use dsspy_collect::{load_capture, PersistError};
-use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy};
+use dsspy_collect::{
+    load_capture, load_capture_with, save_capture_with, PersistError, ReadOptions, Session,
+};
+use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy, Report};
 use dsspy_patterns::{analyze, segment_phases, MinerConfig, PhaseConfig};
+use dsspy_telemetry::{export, OverheadReport, Telemetry};
 use dsspy_viz::html_report;
 use dsspy_viz::{profile_chart_svg, profile_chart_text, timeline_svg, timeline_text, ChartConfig};
+use dsspy_workloads::{suite7, Mode, Scale};
 use std::path::Path;
 
 /// CLI-level errors.
@@ -39,6 +52,8 @@ pub enum CliError {
     Json(String),
     /// Output file could not be written.
     Io(std::io::Error),
+    /// A telemetry export failed validation or could not be produced.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -50,6 +65,7 @@ impl std::fmt::Display for CliError {
             }
             CliError::Json(e) => write!(f, "cannot serialize report: {e}"),
             CliError::Io(e) => write!(f, "cannot write output: {e}"),
+            CliError::Telemetry(e) => write!(f, "telemetry export: {e}"),
         }
     }
 }
@@ -68,20 +84,72 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// `dsspy analyze`: full report for a capture, as text or JSON.
-pub fn cmd_analyze(
+/// Load `path` and run the full pipeline, observed or not. When observed,
+/// the returned report embeds the [`dsspy_telemetry::TelemetrySnapshot`]
+/// covering the parallel body decode and the analysis fan-out — and, when
+/// the capture was recorded by an observed session, the collection-time
+/// signals (collector histograms, queue pressure) merged back in, with the
+/// overhead figure re-accounted over the combined view.
+fn analyze_capture_file(
     path: &Path,
-    json: bool,
     selective: bool,
     threads: usize,
-) -> Result<String, CliError> {
-    let capture = load_capture(path)?;
+    telemetry: &Telemetry,
+) -> Result<(dsspy_collect::Capture, Report), CliError> {
+    let opts = ReadOptions {
+        threads,
+        telemetry: telemetry.clone(),
+    };
+    let capture = load_capture_with(path, &opts)?;
     let dsspy = if selective {
         Dsspy::new().selective()
     } else {
         Dsspy::new()
     };
-    let report = dsspy.with_threads(threads).analyze_capture(&capture);
+    let mut report = dsspy
+        .with_threads(threads)
+        .analyze_capture_with(&capture, telemetry);
+    // The CLI's telemetry handle is always freshly created per command, so
+    // merging the stored collection-time snapshot cannot double-count.
+    if let (Some(snapshot), Some(stored)) = (
+        report.telemetry.as_mut(),
+        capture.collection_telemetry.as_ref(),
+    ) {
+        snapshot.merge(stored);
+        let overhead = OverheadReport::account(snapshot, capture.session_nanos);
+        snapshot.overhead = Some(overhead);
+    }
+    Ok((capture, report))
+}
+
+/// Write the snapshot a report carries to `out` as JSON.
+fn write_snapshot(report: &Report, out: &Path) -> Result<(), CliError> {
+    let snapshot = report
+        .telemetry
+        .as_ref()
+        .ok_or_else(|| CliError::Telemetry("run produced no snapshot".into()))?;
+    std::fs::write(out, export::to_json(snapshot))?;
+    Ok(())
+}
+
+/// `dsspy analyze`: full report for a capture, as text or JSON. With
+/// `telemetry_out`, the run is self-observed and the snapshot lands there.
+pub fn cmd_analyze(
+    path: &Path,
+    json: bool,
+    selective: bool,
+    threads: usize,
+    telemetry_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let telemetry = if telemetry_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let (_, report) = analyze_capture_file(path, selective, threads, &telemetry)?;
+    if let Some(out) = telemetry_out {
+        write_snapshot(&report, out)?;
+    }
     if json {
         serde_json::to_string_pretty(&report).map_err(|e| CliError::Json(e.to_string()))
     } else {
@@ -163,10 +231,23 @@ pub fn cmd_csv(path: &Path, what: &str) -> Result<String, CliError> {
     }
 }
 
-/// `dsspy report`: self-contained HTML report with embedded charts.
-pub fn cmd_report(path: &Path, out: &Path, threads: usize) -> Result<String, CliError> {
-    let capture = load_capture(path)?;
-    let report = Dsspy::new().with_threads(threads).analyze_capture(&capture);
+/// `dsspy report`: self-contained HTML report with embedded charts. With
+/// `telemetry_out`, the run is self-observed and the snapshot lands there.
+pub fn cmd_report(
+    path: &Path,
+    out: &Path,
+    threads: usize,
+    telemetry_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let telemetry = if telemetry_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let (capture, report) = analyze_capture_file(path, false, threads, &telemetry)?;
+    if let Some(tout) = telemetry_out {
+        write_snapshot(&report, tout)?;
+    }
     let html = html_report(&report, &capture.profiles);
     std::fs::write(out, &html)?;
     Ok(format!(
@@ -175,6 +256,181 @@ pub fn cmd_report(path: &Path, out: &Path, threads: usize) -> Result<String, Cli
         html.len(),
         report.summary()
     ))
+}
+
+/// `dsspy telemetry`: self-observe a full analysis of the capture and render
+/// the snapshot in one of the export formats. `check` validates the
+/// Prometheus exposition (any format may be combined with it; the check
+/// always runs against the Prometheus rendering).
+pub fn cmd_telemetry(
+    path: &Path,
+    threads: usize,
+    format: &str,
+    check: bool,
+) -> Result<String, CliError> {
+    let telemetry = Telemetry::enabled();
+    let (_, report) = analyze_capture_file(path, false, threads, &telemetry)?;
+    let snapshot = report
+        .telemetry
+        .as_ref()
+        .ok_or_else(|| CliError::Telemetry("run produced no snapshot".into()))?;
+    if check {
+        validate_prometheus(&export::prometheus(snapshot)).map_err(CliError::Telemetry)?;
+    }
+    match format {
+        "summary" => Ok(export::summary(snapshot)),
+        "json" => Ok(export::to_json(snapshot)),
+        "prometheus" => Ok(export::prometheus(snapshot)),
+        "trace" => Ok(export::chrome_trace(snapshot)),
+        other => Err(CliError::Telemetry(format!(
+            "unknown format {other:?} (summary|json|prometheus|trace)"
+        ))),
+    }
+}
+
+/// `dsspy demo`: record one of the paper's seven evaluation workloads at
+/// test scale and save the capture — a self-contained way to produce input
+/// for every other command (and for the tier-1 smoke test).
+pub fn cmd_demo(out: &Path, workload: Option<&str>) -> Result<String, CliError> {
+    let suite = suite7();
+    let name = workload.unwrap_or("WordWheelSolver");
+    let w = suite
+        .iter()
+        .find(|w| w.spec().name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::Telemetry(format!(
+                "unknown workload {name:?} (one of: {})",
+                suite
+                    .iter()
+                    .map(|w| w.spec().name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+    // Record under an observed session so the capture carries collection-time
+    // telemetry (collector histograms, queue pressure) into offline analysis.
+    let telemetry = Telemetry::enabled();
+    let session = Session::with_telemetry(Default::default(), telemetry.clone());
+    w.run(Scale::Test, Mode::Instrumented(&session));
+    let capture = session.finish();
+    let instances = capture.profiles.len();
+    let events: u64 = capture.profiles.iter().map(|p| p.events.len() as u64).sum();
+    save_capture_with(&capture, out, &telemetry)?;
+    Ok(format!(
+        "wrote {} ({} instances, {events} events) from workload {}",
+        out.display(),
+        instances,
+        w.spec().name
+    ))
+}
+
+/// Validate a Prometheus text-format exposition (the subset the exporter
+/// emits): every sample must be preceded by a `# TYPE` for its metric
+/// family, values must parse, histogram buckets must be cumulative and
+/// agree with `_count`. Returns the first problem found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Per-histogram running state: last cumulative bucket value, and the
+    // +Inf/_count values seen so far.
+    let mut last_bucket: HashMap<String, u64> = HashMap::new();
+    let mut inf_bucket: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+
+    let family_of = |sample: &str| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stripped) = sample.strip_suffix(suffix) {
+                return stripped.to_string();
+            }
+        }
+        sample.to_string()
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                ["TYPE", name, kind] => {
+                    if !matches!(*kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                    }
+                    types.insert((*name).to_string(), (*kind).to_string());
+                }
+                ["HELP", ..] => {}
+                _ => return Err(format!("line {lineno}: malformed comment: {line:?}")),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value: {line:?}"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad value {value_part:?}"))?;
+        let (sample_name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated labels: {line:?}"))?;
+                (n, Some(labels))
+            }
+            None => (name_part, None),
+        };
+        if sample_name.is_empty()
+            || !sample_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {lineno}: bad metric name {sample_name:?}"));
+        }
+        let family = family_of(sample_name);
+        let declared = types
+            .get(&family)
+            .or_else(|| types.get(sample_name))
+            .ok_or_else(|| format!("line {lineno}: sample {sample_name:?} has no # TYPE"))?;
+        if declared == "histogram" && sample_name.ends_with("_bucket") {
+            let le = labels
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("line {lineno}: bucket without le label: {line:?}"))?;
+            let cumulative = value as u64;
+            if let Some(prev) = last_bucket.get(&family) {
+                if cumulative < *prev {
+                    return Err(format!(
+                        "line {lineno}: bucket for {family:?} decreases ({prev} -> {cumulative})"
+                    ));
+                }
+            }
+            last_bucket.insert(family.clone(), cumulative);
+            if le == "+Inf" {
+                inf_bucket.insert(family.clone(), cumulative);
+            }
+        } else if declared == "histogram" && sample_name.ends_with("_count") {
+            counts.insert(family.clone(), value as u64);
+        }
+    }
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let inf = inf_bucket
+            .get(family)
+            .ok_or_else(|| format!("histogram {family:?} has no +Inf bucket"))?;
+        let count = counts
+            .get(family)
+            .ok_or_else(|| format!("histogram {family:?} has no _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {family:?}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// `dsspy sketch`: transformation sketches for every detection.
@@ -219,9 +475,9 @@ mod tests {
     #[test]
     fn analyze_text_and_json() {
         let path = temp_capture(true, "a.dsspycap");
-        let text = cmd_analyze(&path, false, false, 0).unwrap();
+        let text = cmd_analyze(&path, false, false, 0, None).unwrap();
         assert!(text.contains("Long-Insert"), "{text}");
-        let json = cmd_analyze(&path, true, false, 0).unwrap();
+        let json = cmd_analyze(&path, true, false, 0, None).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(parsed["instances"].is_array());
     }
@@ -229,7 +485,7 @@ mod tests {
     #[test]
     fn analyze_selective_filters_to_manual() {
         let path = temp_capture(true, "sel.dsspycap");
-        let json = cmd_analyze(&path, true, true, 1).unwrap();
+        let json = cmd_analyze(&path, true, true, 1, None).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed["instances"].as_array().unwrap().len(), 1);
     }
@@ -237,9 +493,9 @@ mod tests {
     #[test]
     fn analyze_output_does_not_depend_on_thread_count() {
         let path = temp_capture(true, "threads.dsspycap");
-        let sequential = cmd_analyze(&path, true, false, 1).unwrap();
+        let sequential = cmd_analyze(&path, true, false, 1, None).unwrap();
         for threads in [2usize, 4, 0] {
-            let parallel = cmd_analyze(&path, true, false, threads).unwrap();
+            let parallel = cmd_analyze(&path, true, false, threads, None).unwrap();
             assert_eq!(sequential, parallel, "threads={threads}");
         }
     }
@@ -299,7 +555,7 @@ mod tests {
     fn report_writes_html() {
         let path = temp_capture(true, "r.dsspycap");
         let out = path.with_extension("html");
-        let msg = cmd_report(&path, &out, 0).unwrap();
+        let msg = cmd_report(&path, &out, 0, None).unwrap();
         assert!(msg.contains("bytes"));
         let html = std::fs::read_to_string(&out).unwrap();
         assert!(html.contains("Long-Insert"));
@@ -307,7 +563,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_a_capture_error() {
-        let err = cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false, 0).unwrap_err();
+        let err =
+            cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false, 0, None).unwrap_err();
         assert!(matches!(err, CliError::Capture(_)));
     }
 }

@@ -12,12 +12,15 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::Receiver;
 use dsspy_events::{AccessEvent, InstanceId, InstanceInfo, RuntimeProfile};
+use dsspy_telemetry::{overhead::signals, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Messages from instrumented code to the collector thread.
 pub(crate) enum Msg {
-    /// A batch of events for one instance, in per-thread order.
-    Batch(InstanceId, Vec<AccessEvent>),
+    /// A batch of events for one instance, in per-thread order. The last
+    /// field is the telemetry-clock time the batch was shipped (0 when
+    /// telemetry is disabled), so the collector can report queue wait.
+    Batch(InstanceId, Vec<AccessEvent>, u64),
     /// Session shutdown: drain whatever is already queued, then stop.
     Stop,
 }
@@ -42,31 +45,71 @@ pub struct CollectorStats {
 /// arriving *after* the marker was recorded after session shutdown; those
 /// events are drained so senders never block, but only counted, into
 /// [`CollectorStats::dropped`].
+///
+/// When `telemetry` is enabled the thread reports its own behaviour: queue
+/// depth sampled at every batch receipt (and its peak), batch size and
+/// queue-wait histograms, per-batch handling time, and the total busy time
+/// that feeds the Table IV-style overhead accountant. The disabled path
+/// costs one branch per batch.
 pub(crate) fn spawn(
     rx: Receiver<Msg>,
+    telemetry: Telemetry,
 ) -> JoinHandle<(HashMap<InstanceId, Vec<AccessEvent>>, CollectorStats)> {
     std::thread::Builder::new()
         .name("dsspy-collector".into())
         .spawn(move || {
+            // Handles resolved once, outside the receive loop.
+            let queue_depth = telemetry.gauge("collector.queue_depth");
+            let queue_peak = telemetry.gauge("collector.queue_depth_peak");
+            let batch_events = telemetry.histogram("collector.batch_events");
+            let batch_wait = telemetry.histogram("collector.batch_wait_nanos");
+            let batch_handle = telemetry.histogram("collector.batch_handle_nanos");
+            let busy = telemetry.counter(signals::COLLECTOR_BUSY);
+            let enabled = telemetry.is_enabled();
+
             let mut map: HashMap<InstanceId, Vec<AccessEvent>> = HashMap::new();
             let mut stats = CollectorStats::default();
             // Phase 1: normal operation until Stop (or all senders gone).
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    Msg::Batch(id, batch) => {
+                    Msg::Batch(id, batch, sent_nanos) => {
+                        let start_nanos = if enabled {
+                            // Depth *behind* this batch: what is still queued
+                            // after we took ours.
+                            let depth = rx.len() as u64;
+                            queue_depth.set(depth);
+                            queue_peak.set_max(depth);
+                            let now = telemetry.now_nanos();
+                            batch_wait.record(now.saturating_sub(sent_nanos));
+                            batch_events.record(batch.len() as u64);
+                            now
+                        } else {
+                            0
+                        };
                         stats.events += batch.len() as u64;
                         stats.batches += 1;
                         map.entry(id).or_default().extend(batch);
+                        if enabled {
+                            let spent = telemetry.now_nanos().saturating_sub(start_nanos);
+                            batch_handle.record(spent);
+                            busy.add(spent);
+                        }
                     }
                     Msg::Stop => break,
                 }
             }
             // Phase 2: drain post-shutdown stragglers without storing them.
             while let Ok(msg) = rx.try_recv() {
-                if let Msg::Batch(_, batch) = msg {
+                if let Msg::Batch(_, batch, _) = msg {
                     stats.dropped += batch.len() as u64;
                 }
             }
+            // The queue is fully drained; leave the gauge reflecting that,
+            // and publish the final counters alongside `CollectorStats`.
+            queue_depth.set(0);
+            telemetry.counter("collector.events").add(stats.events);
+            telemetry.counter("collector.batches").add(stats.batches);
+            telemetry.counter("collector.dropped").add(stats.dropped);
             (map, stats)
         })
         .expect("failed to spawn dsspy collector thread")
@@ -84,6 +127,14 @@ pub struct Capture {
     pub stats: CollectorStats,
     /// Wall-clock duration of the session, in nanoseconds.
     pub session_nanos: u64,
+    /// Telemetry recorded while the session ran (collector histograms,
+    /// queue pressure, drop counts) — `Some` only for captures produced by
+    /// an observed [`Session`](crate::Session) or loaded from a file that
+    /// embedded one. Kept out of the `Capture` serde form; persistence
+    /// carries it in the capture header instead, so offline analysis can
+    /// merge collection-time signals into its own snapshot.
+    #[serde(skip)]
+    pub collection_telemetry: Option<dsspy_telemetry::TelemetrySnapshot>,
     /// Lazily-built id → `profiles` index, so [`Capture::profile`] is O(1)
     /// however the capture was produced (assembled, deserialized, or built
     /// field-by-field in tests). Not persisted.
@@ -103,6 +154,7 @@ impl Capture {
             profiles,
             stats,
             session_nanos,
+            collection_telemetry: None,
             index: std::sync::OnceLock::new(),
         }
     }
@@ -197,10 +249,11 @@ mod tests {
     #[test]
     fn collector_thread_drains_after_stop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx);
+        let join = spawn(rx, Telemetry::disabled());
         tx.send(Msg::Batch(
             InstanceId(0),
             vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
+            0,
         ))
         .unwrap();
         tx.send(Msg::Stop).unwrap();
@@ -225,9 +278,10 @@ mod tests {
                 AccessEvent::at(0, AccessKind::Insert, 0, 1),
                 AccessEvent::at(1, AccessKind::Insert, 1, 2),
             ],
+            0,
         ))
         .unwrap();
-        let (map, stats) = spawn(rx).join().unwrap();
+        let (map, stats) = spawn(rx, Telemetry::disabled()).join().unwrap();
         assert!(map.is_empty(), "post-shutdown events must not be stored");
         assert_eq!(stats.dropped, 2);
         assert_eq!(stats.events, 0);
@@ -237,10 +291,11 @@ mod tests {
     #[test]
     fn collector_thread_stops_when_senders_drop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx);
+        let join = spawn(rx, Telemetry::disabled());
         tx.send(Msg::Batch(
             InstanceId(3),
             vec![AccessEvent::at(0, AccessKind::Read, 0, 1)],
+            0,
         ))
         .unwrap();
         drop(tx);

@@ -35,7 +35,10 @@ pub mod session;
 
 pub use clock::SessionClock;
 pub use collector::{Capture, CollectorStats};
-pub use persist::{load_capture, read_capture, save_capture, write_capture, PersistError};
+pub use persist::{
+    load_capture, load_capture_with, read_capture, read_capture_with, save_capture,
+    save_capture_with, write_capture, write_capture_with, PersistError, ReadOptions,
+};
 pub use recorder::Recorder;
 pub use registry::Registry;
 pub use session::{InstanceHandle, Session, SessionConfig};

@@ -23,6 +23,7 @@ use std::path::Path;
 
 use dsspy_events::encode::{decode_batch, encode_batch};
 use dsspy_events::{InstanceInfo, RuntimeProfile};
+use dsspy_telemetry::{overhead::signals, Telemetry, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::collector::{Capture, CollectorStats};
@@ -37,6 +38,12 @@ struct CaptureHeader {
     stats: CollectorStats,
     session_nanos: u64,
     event_counts: Vec<u64>,
+    /// Collection-time telemetry (collector histograms, queue pressure,
+    /// encode volume) recorded by an observed session — `None` for captures
+    /// from unobserved sessions and for files written before this field
+    /// existed (`default` keeps version 1 readable both ways).
+    #[serde(default)]
+    telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Errors from loading a persisted capture.
@@ -85,7 +92,21 @@ impl From<io::Error> for PersistError {
 /// let back = read_capture(buf.as_slice()).unwrap();
 /// assert_eq!(back.instance_count(), 0);
 /// ```
-pub fn write_capture(capture: &Capture, mut w: impl Write) -> Result<(), PersistError> {
+pub fn write_capture(capture: &Capture, w: impl Write) -> Result<(), PersistError> {
+    write_capture_with(capture, w, &Telemetry::disabled())
+}
+
+/// [`write_capture`] that also reports encode volume and time: counters
+/// `persist.encode_bytes`, `persist.bodies_encoded`, and the
+/// `persist.encode_nanos` signal the overhead accountant charges to
+/// profiling.
+pub fn write_capture_with(
+    capture: &Capture,
+    mut w: impl Write,
+    telemetry: &Telemetry,
+) -> Result<(), PersistError> {
+    let start_nanos = telemetry.now_nanos();
+    let mut written = 0u64;
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let header = CaptureHeader {
@@ -97,21 +118,66 @@ pub fn write_capture(capture: &Capture, mut w: impl Write) -> Result<(), Persist
         stats: capture.stats,
         session_nanos: capture.session_nanos,
         event_counts: capture.profiles.iter().map(|p| p.len() as u64).collect(),
+        telemetry: capture.collection_telemetry.clone(),
     };
     let header_json =
         serde_json::to_vec(&header).map_err(|e| PersistError::BadHeader(e.to_string()))?;
     w.write_all(&(header_json.len() as u64).to_le_bytes())?;
     w.write_all(&header_json)?;
+    written += 8 + 4 + 8 + header_json.len() as u64;
     for profile in &capture.profiles {
         let body = encode_batch(&profile.events);
         w.write_all(&(body.len() as u64).to_le_bytes())?;
         w.write_all(&body)?;
+        written += 8 + body.len() as u64;
+    }
+    if telemetry.is_enabled() {
+        telemetry.counter("persist.encode_bytes").add(written);
+        telemetry
+            .counter("persist.bodies_encoded")
+            .add(capture.profiles.len() as u64);
+        telemetry
+            .counter(signals::PERSIST_ENCODE)
+            .add(telemetry.now_nanos().saturating_sub(start_nanos));
     }
     Ok(())
 }
 
-/// Deserialize a capture from a reader.
-pub fn read_capture(mut r: impl Read) -> Result<Capture, PersistError> {
+/// How [`read_capture_with`] / [`load_capture_with`] should behave.
+#[derive(Clone, Debug)]
+pub struct ReadOptions {
+    /// Worker threads for decoding event bodies. `1` (the default) decodes
+    /// inline; more threads fan the per-instance bodies out over
+    /// `dsspy_parallel::par_map`, which pays off once captures carry many
+    /// instances with large event lists. `0` means one worker per core.
+    pub threads: usize,
+    /// Where to report decode volume and per-body decode time.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            threads: 1,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Deserialize a capture from a reader (sequential, unobserved).
+pub fn read_capture(r: impl Read) -> Result<Capture, PersistError> {
+    read_capture_with(r, &ReadOptions::default())
+}
+
+/// Deserialize a capture from a reader, optionally decoding event bodies in
+/// parallel and reporting into telemetry.
+///
+/// I/O stays sequential (the format is a stream of length-prefixed bodies),
+/// but body decode — the CPU-bound part — fans out over `opts.threads`.
+/// Profiles come back in header order regardless of thread count.
+pub fn read_capture_with(mut r: impl Read, opts: &ReadOptions) -> Result<Capture, PersistError> {
+    let telemetry = &opts.telemetry;
+    let start_nanos = telemetry.now_nanos();
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -144,7 +210,9 @@ pub fn read_capture(mut r: impl Read) -> Result<Capture, PersistError> {
     let header: CaptureHeader =
         serde_json::from_slice(&header_json).map_err(|e| PersistError::BadHeader(e.to_string()))?;
 
-    let mut profiles = Vec::with_capacity(header.instances.len());
+    // Pass 1 (sequential): pull every length-prefixed body off the stream.
+    let mut total_bytes = 8 + 4 + 8 + header_len as u64;
+    let mut bodies = Vec::with_capacity(header.instances.len());
     for (info, expect) in header.instances.into_iter().zip(header.event_counts) {
         r.read_exact(&mut len8)?;
         let body_len = u64::from_le_bytes(len8) as usize;
@@ -156,29 +224,80 @@ pub fn read_capture(mut r: impl Read) -> Result<Capture, PersistError> {
                 "truncated event body",
             )));
         }
-        let events = decode_batch(body.into()).map_err(|e| PersistError::BadBody(e.to_string()))?;
-        if events.len() as u64 != expect {
+        total_bytes += 8 + body_len as u64;
+        bodies.push((info, expect, body));
+    }
+
+    // Pass 2 (parallel): decode the bodies, preserving header order. Each
+    // body's decode time lands in a histogram so skewed instances show up.
+    let body_decode = telemetry.histogram("persist.body_decode_nanos");
+    let decode_one = |(info, expect, body): &(InstanceInfo, u64, Vec<u8>)| {
+        let body_start = telemetry.now_nanos();
+        let events =
+            decode_batch(body.clone().into()).map_err(|e| PersistError::BadBody(e.to_string()))?;
+        if events.len() as u64 != *expect {
             return Err(PersistError::BadBody(format!(
                 "instance {} expected {expect} events, body has {}",
                 info.id,
                 events.len()
             )));
         }
-        profiles.push(RuntimeProfile::new(info, events));
+        if telemetry.is_enabled() {
+            body_decode.record(telemetry.now_nanos().saturating_sub(body_start));
+        }
+        Ok(RuntimeProfile::new(info.clone(), events))
+    };
+    let threads = if opts.threads == 0 {
+        dsspy_parallel::default_threads()
+    } else {
+        opts.threads
+    };
+    let profiles: Vec<RuntimeProfile> = dsspy_parallel::par_map(&bodies, threads, decode_one)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+    if telemetry.is_enabled() {
+        telemetry.counter("persist.decode_bytes").add(total_bytes);
+        telemetry
+            .counter("persist.bodies_decoded")
+            .add(profiles.len() as u64);
+        telemetry
+            .counter(signals::PERSIST_DECODE)
+            .add(telemetry.now_nanos().saturating_sub(start_nanos));
     }
-    Ok(Capture::new(profiles, header.stats, header.session_nanos))
+    let mut capture = Capture::new(profiles, header.stats, header.session_nanos);
+    capture.collection_telemetry = header.telemetry;
+    Ok(capture)
 }
 
 /// Save a capture to a file.
 pub fn save_capture(capture: &Capture, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let file = std::fs::File::create(path)?;
-    write_capture(capture, io::BufWriter::new(file))
+    save_capture_with(capture, path, &Telemetry::disabled())
 }
 
-/// Load a capture from a file.
+/// [`save_capture`] reporting into telemetry (see [`write_capture_with`]).
+pub fn save_capture_with(
+    capture: &Capture,
+    path: impl AsRef<Path>,
+    telemetry: &Telemetry,
+) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    write_capture_with(capture, io::BufWriter::new(file), telemetry)
+}
+
+/// Load a capture from a file (sequential, unobserved).
 pub fn load_capture(path: impl AsRef<Path>) -> Result<Capture, PersistError> {
+    load_capture_with(path, &ReadOptions::default())
+}
+
+/// Load a capture from a file with parallel body decode and telemetry
+/// (see [`read_capture_with`]).
+pub fn load_capture_with(
+    path: impl AsRef<Path>,
+    opts: &ReadOptions,
+) -> Result<Capture, PersistError> {
     let file = std::fs::File::open(path)?;
-    read_capture(io::BufReader::new(file))
+    read_capture_with(io::BufReader::new(file), opts)
 }
 
 #[cfg(test)]

@@ -4,7 +4,12 @@
 //! program twice: instrumented and plain (§V, Table IV). Instrumented
 //! collections are generic over a [`Recorder`] so that the plain variant
 //! compiles down to the raw container operation with a branch on a constant
-//! — this is what the slowdown benchmarks compare against.
+//! — this is what the slowdown benchmarks compare against, and what
+//! `dsspy_telemetry::OverheadReport::from_measurement` consumes as the
+//! paired plain/instrumented wall-time measurement. (The single-run
+//! estimator, `OverheadReport::account`, instead sums the collector and
+//! persistence busy-time signals a telemetry-enabled [`crate::Session`]
+//! records.)
 
 use dsspy_events::{AccessKind, Target};
 

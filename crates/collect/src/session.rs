@@ -13,6 +13,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, Origin, Target};
+use dsspy_telemetry::Telemetry;
 
 use crate::clock::{current_thread_tag, SessionClock};
 use crate::collector::{spawn, Capture, CollectorStats, Msg};
@@ -45,6 +46,9 @@ impl Default for SessionConfig {
 pub(crate) struct SessionInner {
     pub(crate) clock: SessionClock,
     pub(crate) registry: Registry,
+    /// Self-observation handle; [`Telemetry::disabled`] unless the session
+    /// was started with [`Session::with_telemetry`].
+    pub(crate) telemetry: Telemetry,
     closed: AtomicBool,
     dropped: AtomicU64,
 }
@@ -68,15 +72,24 @@ impl Session {
 
     /// Start a session with explicit configuration.
     pub fn with_config(config: SessionConfig) -> Session {
+        Session::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Start a session that also observes itself: the collector thread
+    /// reports queue depth, batch latency, and busy time into `telemetry`
+    /// (see the `dsspy-telemetry` crate). Passing [`Telemetry::disabled`]
+    /// is exactly [`Session::with_config`].
+    pub fn with_telemetry(config: SessionConfig, telemetry: Telemetry) -> Session {
         let (tx, rx) = match config.channel_capacity {
             Some(n) => bounded(n),
             None => unbounded(),
         };
-        let join = spawn(rx);
+        let join = spawn(rx, telemetry.clone());
         Session {
             inner: Arc::new(SessionInner {
                 clock: SessionClock::new(),
                 registry: Registry::new(),
+                telemetry,
                 closed: AtomicBool::new(false),
                 dropped: AtomicU64::new(0),
             }),
@@ -84,6 +97,11 @@ impl Session {
             join,
             batch_size: config.batch_size.max(1),
         }
+    }
+
+    /// The telemetry handle this session reports into (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Register a data-structure instance and obtain its recording handle.
@@ -149,7 +167,19 @@ impl Session {
         drop(self.sender);
         let (map, mut stats) = self.join.join().expect("collector thread panicked");
         stats.dropped += self.inner.dropped.load(Ordering::Relaxed);
-        Capture::assemble(self.inner.registry.snapshot(), map, stats, session_nanos)
+        self.inner
+            .telemetry
+            .counter("session.session_nanos")
+            .add(session_nanos);
+        let mut capture =
+            Capture::assemble(self.inner.registry.snapshot(), map, stats, session_nanos);
+        // An observed session stamps its capture with everything the
+        // telemetry saw, so the collection-time signals survive persistence
+        // and reach offline analysis (which merges them into its snapshot).
+        if self.inner.telemetry.is_enabled() {
+            capture.collection_telemetry = Some(self.inner.telemetry.snapshot());
+        }
+        capture
     }
 }
 
@@ -184,6 +214,9 @@ impl InstanceHandle {
     pub fn record(&mut self, kind: AccessKind, target: Target, len: u32) {
         if self.inner.closed.load(Ordering::Relaxed) {
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            // Cold path: the registry lookup is fine here, and publishing
+            // immediately means drop pressure is visible while it happens.
+            self.inner.telemetry.counter("collector.dropped").inc();
             return;
         }
         let event = AccessEvent {
@@ -206,11 +239,21 @@ impl InstanceHandle {
             return;
         }
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_size));
-        if self.sender.send(Msg::Batch(self.id, batch)).is_err() {
-            // Collector already gone; account the loss.
+        // Stamp ship time from the telemetry clock (0 when disabled) so the
+        // collector can report how long batches sit in the queue.
+        let sent_nanos = self.inner.telemetry.now_nanos();
+        if let Err(err) = self.sender.send(Msg::Batch(self.id, batch, sent_nanos)) {
+            // Collector already gone; account the exact loss.
+            let crate::collector::Msg::Batch(_, lost, _) = err.0 else {
+                return;
+            };
             self.inner
                 .dropped
-                .fetch_add(self.batch_size as u64, Ordering::Relaxed);
+                .fetch_add(lost.len() as u64, Ordering::Relaxed);
+            self.inner
+                .telemetry
+                .counter("collector.dropped")
+                .add(lost.len() as u64);
         }
     }
 

@@ -1,0 +1,189 @@
+//! Integration: a telemetry-enabled session observes its own collector —
+//! queue depth, batch histograms, busy time — and the queue-depth gauge
+//! drains to 0 once `Session::finish` stops the collector.
+
+use dsspy_collect::{
+    load_capture_with, read_capture_with, save_capture_with, write_capture, write_capture_with,
+    ReadOptions, Session, SessionConfig,
+};
+use dsspy_events::{AccessKind, AllocationSite, DsKind, Target};
+use dsspy_telemetry::{overhead::signals, Telemetry};
+
+fn site(line: u32) -> AllocationSite {
+    AllocationSite::new("Test", "main", line)
+}
+
+#[test]
+fn queue_depth_gauge_drains_to_zero_after_stop() {
+    let telemetry = Telemetry::enabled();
+    let session = Session::with_telemetry(
+        SessionConfig {
+            batch_size: 8,
+            channel_capacity: None,
+        },
+        telemetry.clone(),
+    );
+    let mut handles: Vec<_> = (0..4)
+        .map(|t| session.register(site(t), DsKind::List, "i32"))
+        .collect();
+    for h in &mut handles {
+        for i in 0..100u32 {
+            h.record(AccessKind::Insert, Target::Index(i), i + 1);
+        }
+    }
+    drop(handles);
+    let capture = session.finish();
+    assert_eq!(capture.event_count(), 400);
+
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.gauge("collector.queue_depth"),
+        Some(0),
+        "queue must be fully drained after Stop"
+    );
+    assert_eq!(snap.counter("collector.events"), Some(400));
+    assert_eq!(
+        snap.counter("collector.batches"),
+        Some(capture.stats.batches)
+    );
+    assert_eq!(snap.counter("collector.dropped"), Some(0));
+    // 400 events in batches of ≤8 means at least 50 batches were observed.
+    let sizes = snap.histogram("collector.batch_events").unwrap();
+    assert_eq!(sizes.count, capture.stats.batches);
+    assert_eq!(sizes.sum, 400);
+    assert!(sizes.max <= 8);
+    // Wait and handle-time histograms saw every batch too.
+    assert_eq!(
+        snap.histogram("collector.batch_wait_nanos").unwrap().count,
+        capture.stats.batches
+    );
+    assert_eq!(
+        snap.histogram("collector.batch_handle_nanos")
+            .unwrap()
+            .count,
+        capture.stats.batches
+    );
+    // Busy time is the sum of per-batch handling time.
+    assert_eq!(
+        snap.counter(signals::COLLECTOR_BUSY),
+        Some(snap.histogram("collector.batch_handle_nanos").unwrap().sum)
+    );
+    assert!(snap.counter("session.session_nanos").unwrap_or(0) > 0);
+}
+
+#[test]
+fn handle_side_drops_reach_the_telemetry_counter() {
+    let telemetry = Telemetry::enabled();
+    let session = Session::with_telemetry(SessionConfig::default(), telemetry.clone());
+    let mut h = session.register(site(1), DsKind::List, "i32");
+    h.record(AccessKind::Insert, Target::Index(0), 1);
+    h.flush();
+    let capture = session.finish();
+    assert_eq!(capture.stats.events, 1);
+    // Recorded after shutdown: counted as dropped on the handle side.
+    h.record(AccessKind::Read, Target::Index(0), 1);
+    drop(h);
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("collector.dropped"), Some(1));
+}
+
+#[test]
+fn persistence_round_trip_reports_volume_and_decodes_in_parallel() {
+    let session = Session::new();
+    let mut handles: Vec<_> = (0..6)
+        .map(|t| session.register(site(t), DsKind::List, "u64"))
+        .collect();
+    for (t, h) in handles.iter_mut().enumerate() {
+        for i in 0..200u32 {
+            h.record(AccessKind::Insert, Target::Index(i), i + 1);
+        }
+        let _ = t;
+    }
+    drop(handles);
+    let capture = session.finish();
+
+    let telemetry = Telemetry::enabled();
+    let mut buf = Vec::new();
+    write_capture_with(&capture, &mut buf, &telemetry).unwrap();
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("persist.encode_bytes"), Some(buf.len() as u64));
+    assert_eq!(snap.counter("persist.bodies_encoded"), Some(6));
+    assert!(snap.counter(signals::PERSIST_ENCODE).unwrap_or(0) > 0);
+
+    // Decode with 1 thread and 4 threads: identical captures either way.
+    for threads in [1usize, 4] {
+        let telemetry = Telemetry::enabled();
+        let opts = ReadOptions {
+            threads,
+            telemetry: telemetry.clone(),
+        };
+        let back = read_capture_with(buf.as_slice(), &opts).unwrap();
+        assert_eq!(back.event_count(), capture.event_count());
+        assert_eq!(back.stats, capture.stats);
+        for (a, b) in back.profiles.iter().zip(capture.profiles.iter()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.events, b.events);
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("persist.decode_bytes"), Some(buf.len() as u64));
+        assert_eq!(snap.counter("persist.bodies_decoded"), Some(6));
+        assert_eq!(
+            snap.histogram("persist.body_decode_nanos").unwrap().count,
+            6,
+            "every body's decode time is observed at {threads} thread(s)"
+        );
+        assert!(snap.counter(signals::PERSIST_DECODE).unwrap_or(0) > 0);
+    }
+}
+
+#[test]
+fn file_round_trip_with_telemetry_options() {
+    let session = Session::new();
+    let mut h = session.register(site(1), DsKind::List, "i32");
+    for i in 0..50u32 {
+        h.record(AccessKind::Insert, Target::Index(i), i + 1);
+    }
+    drop(h);
+    let capture = session.finish();
+
+    let dir = std::env::temp_dir().join(format!("dsspy-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("capture.dsspy");
+    let telemetry = Telemetry::enabled();
+    save_capture_with(&capture, &path, &telemetry).unwrap();
+    let back = load_capture_with(
+        &path,
+        &ReadOptions {
+            threads: 2,
+            telemetry: telemetry.clone(),
+        },
+    )
+    .unwrap();
+    assert_eq!(back.event_count(), capture.event_count());
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("persist.encode_bytes").unwrap_or(0) > 0);
+    assert_eq!(
+        snap.counter("persist.decode_bytes"),
+        snap.counter("persist.encode_bytes"),
+        "the decoder reads exactly what the encoder wrote"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    // The plain entry points still work and observe nothing.
+    let session = Session::new();
+    assert!(!session.telemetry().is_enabled());
+    let mut h = session.register(site(1), DsKind::List, "i32");
+    h.record(AccessKind::Insert, Target::Index(0), 1);
+    drop(h);
+    let capture = session.finish();
+    let mut buf = Vec::new();
+    write_capture(&capture, &mut buf).unwrap();
+    assert!(session_snapshot_is_empty());
+
+    fn session_snapshot_is_empty() -> bool {
+        Telemetry::disabled().snapshot().is_empty()
+    }
+}

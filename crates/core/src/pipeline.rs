@@ -12,6 +12,7 @@ use std::time::Instant;
 use dsspy_collect::{Capture, Session, SessionConfig};
 use dsspy_events::RuntimeProfile;
 use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
+use dsspy_telemetry::{overhead::signals, OverheadReport, Telemetry};
 use dsspy_usecases::{advisories, classify, AdvisoryConfig, Thresholds};
 use serde::{Deserialize, Serialize};
 
@@ -101,10 +102,18 @@ impl Dsspy {
     /// session and exercise them), and the returned [`Report`] is the
     /// *Advice* end of the pipeline.
     pub fn profile(&self, program: impl FnOnce(&Session)) -> Report {
-        let session = Session::with_config(self.session);
+        self.profile_with(program, &Telemetry::disabled())
+    }
+
+    /// [`Dsspy::profile`] under observation: the session's collector
+    /// reports into `telemetry`, the analysis records per-instance spans,
+    /// and the resulting report embeds the snapshot with Table IV-style
+    /// overhead accounting.
+    pub fn profile_with(&self, program: impl FnOnce(&Session), telemetry: &Telemetry) -> Report {
+        let session = Session::with_telemetry(self.session, telemetry.clone());
         program(&session);
         let capture = session.finish();
-        self.analyze_capture(&capture)
+        self.analyze_capture_with(&capture, telemetry)
     }
 
     /// Post-mortem analysis of an existing capture (e.g. one loaded from
@@ -115,19 +124,41 @@ impl Dsspy {
     /// reassembled in registration order, so the report does not depend on
     /// the thread count.
     pub fn analyze_capture(&self, capture: &Capture) -> Report {
+        self.analyze_capture_with(capture, &Telemetry::disabled())
+    }
+
+    /// [`Dsspy::analyze_capture`] under observation.
+    ///
+    /// Each instance's mining and classification phases are recorded as
+    /// `mine#i` / `classify#i` spans (category `analysis`, attributed to the
+    /// worker thread that ran them — worker utilization and load imbalance
+    /// of the fan-out fall out of those), the whole pass as an
+    /// `analyze_capture` span (category `pipeline`). The report embeds the
+    /// snapshot, with [`OverheadReport::account`] run against the capture's
+    /// session duration. With a disabled handle this is exactly
+    /// [`Dsspy::analyze_capture`]: no spans, no snapshot, `telemetry: None`.
+    pub fn analyze_capture_with(&self, capture: &Capture, telemetry: &Telemetry) -> Report {
         let started = Instant::now();
-        let profiles: Vec<&RuntimeProfile> = capture
+        let pass_start_nanos = telemetry.now_nanos();
+        let profiles: Vec<(usize, &RuntimeProfile)> = capture
             .profiles
             .iter()
             .filter(|profile| {
                 !self.analysis.selective || profile.instance.origin == dsspy_events::Origin::Manual
             })
+            .enumerate()
             .collect();
         let threads = self.analysis.resolved_threads();
+        telemetry.gauge("analysis.threads").set(threads as u64);
+        telemetry
+            .counter("analysis.instances")
+            .add(profiles.len() as u64);
+        let analyze_indexed =
+            |&(idx, profile): &(usize, &RuntimeProfile)| self.analyze_one(idx, profile, telemetry);
         let analyzed = if threads <= 1 {
-            profiles.iter().map(|p| self.analyze_one(p)).collect()
+            profiles.iter().map(analyze_indexed).collect()
         } else {
-            dsspy_parallel::par_map(&profiles, threads, |p| self.analyze_one(p))
+            dsspy_parallel::par_map(&profiles, threads, analyze_indexed)
         };
         let mut instances = Vec::with_capacity(analyzed.len());
         let mut per_instance = Vec::with_capacity(analyzed.len());
@@ -135,7 +166,7 @@ impl Dsspy {
             instances.push(report);
             per_instance.push(timing);
         }
-        Report {
+        let mut report = Report {
             instances,
             stats: capture.stats,
             session_nanos: capture.session_nanos,
@@ -144,20 +175,46 @@ impl Dsspy {
                 wall_nanos: started.elapsed().as_nanos() as u64,
                 threads,
             },
+            telemetry: None,
+        };
+        if telemetry.is_enabled() {
+            // Recorded directly (not as a guard) so the workers' per-
+            // instance spans stay at depth 0 — the wall-clock span of the
+            // pass lives in its own category.
+            telemetry.record_span(
+                signals::PIPELINE_CAT,
+                "analyze_capture",
+                pass_start_nanos,
+                telemetry.now_nanos().saturating_sub(pass_start_nanos),
+            );
+            let mut snapshot = telemetry.snapshot();
+            snapshot.overhead = Some(OverheadReport::account(&snapshot, capture.session_nanos));
+            report.telemetry = Some(snapshot);
         }
+        report
     }
 
     /// The per-instance unit of work: mine, gate, classify, advise — with
-    /// each phase timed.
-    fn analyze_one(&self, profile: &RuntimeProfile) -> (InstanceReport, InstanceTiming) {
+    /// each phase timed (and recorded as `mine#idx` / `classify#idx` spans
+    /// when observed).
+    fn analyze_one(
+        &self,
+        idx: usize,
+        profile: &RuntimeProfile,
+        telemetry: &Telemetry,
+    ) -> (InstanceReport, InstanceTiming) {
         let mining = Instant::now();
+        let span = telemetry.span_lazy(signals::ANALYSIS_CAT, || format!("mine#{idx}"));
         let analysis = analyze(profile, &self.analysis.miner);
         let verdict = regularity(&analysis, &self.analysis.regularity);
+        drop(span);
         let mining_nanos = mining.elapsed().as_nanos() as u64;
 
         let classify_started = Instant::now();
+        let span = telemetry.span_lazy(signals::ANALYSIS_CAT, || format!("classify#{idx}"));
         let use_cases = classify(&profile.instance, &analysis, &self.analysis.thresholds);
         let advisories = advisories(profile, &self.analysis.advisories);
+        drop(span);
         let classify_nanos = classify_started.elapsed().as_nanos() as u64;
 
         (

@@ -3,6 +3,7 @@
 use dsspy_collect::CollectorStats;
 use dsspy_events::InstanceInfo;
 use dsspy_patterns::{ProfileAnalysis, RegularityVerdict};
+use dsspy_telemetry::{overhead::signals, TelemetrySnapshot};
 use dsspy_usecases::{Advisory, UseCase, UseCaseKind};
 use serde::{Deserialize, Serialize};
 
@@ -100,11 +101,22 @@ pub struct Report {
     /// Wall-clock duration of the profiled execution, nanoseconds.
     pub session_nanos: u64,
     /// How long the analysis itself took, per instance and phase. Skipped
-    /// by serde: a report loaded from JSON carries empty timings, and two
-    /// analyses of the same capture serialize identically no matter how
-    /// many threads (or how much wall time) each one used.
+    /// by serde so that two analyses of the same capture serialize
+    /// identically no matter how many threads (or how much wall time) each
+    /// one used. The data is *not* lost on a round trip when the analysis
+    /// ran with telemetry: the same numbers travel as `mine#i`/`classify#i`
+    /// spans inside [`Report::telemetry`], and
+    /// [`Report::restore_timings_from_telemetry`] rebuilds this field from
+    /// them after deserialization.
     #[serde(skip)]
     pub timings: AnalysisTimings,
+    /// Self-observation snapshot of the run that produced this report:
+    /// collector metrics, persistence volume, per-instance analysis spans,
+    /// and the Table IV-style overhead accounting. `None` when the analysis
+    /// ran without telemetry — which also keeps serialized reports
+    /// byte-identical across thread counts in that default mode.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl Report {
@@ -242,6 +254,54 @@ impl Report {
         out
     }
 
+    /// Rebuild [`Report::timings`] from the embedded telemetry snapshot.
+    ///
+    /// `timings` is `#[serde(skip)]`, so a report loaded from JSON starts
+    /// with empty timings even though the analysis that produced it measured
+    /// them. When the analysis ran with telemetry, the same measurements
+    /// travel as `mine#i`/`classify#i` spans (per-instance phases, indexed
+    /// in [`Report::instances`] order) plus the `analyze_capture` pipeline
+    /// span (wall clock) and the `analysis.threads` gauge. This restores
+    /// the field from those. Returns `false` — leaving `timings` untouched
+    /// — when there is no snapshot or it carries no analysis spans.
+    pub fn restore_timings_from_telemetry(&mut self) -> bool {
+        let Some(snapshot) = &self.telemetry else {
+            return false;
+        };
+        let mut per_instance = vec![InstanceTiming::default(); self.instances.len()];
+        let mut found = false;
+        for span in snapshot.spans_in(signals::ANALYSIS_CAT) {
+            let (slot, is_mining) = if let Some(i) = span.name.strip_prefix("mine#") {
+                (i.parse::<usize>().ok(), true)
+            } else if let Some(i) = span.name.strip_prefix("classify#") {
+                (i.parse::<usize>().ok(), false)
+            } else {
+                continue;
+            };
+            let Some(i) = slot.filter(|&i| i < per_instance.len()) else {
+                continue;
+            };
+            if is_mining {
+                per_instance[i].mining_nanos = span.dur_nanos;
+            } else {
+                per_instance[i].classify_nanos = span.dur_nanos;
+            }
+            found = true;
+        }
+        if !found {
+            return false;
+        }
+        self.timings = AnalysisTimings {
+            per_instance,
+            wall_nanos: snapshot
+                .spans_in(signals::PIPELINE_CAT)
+                .find(|s| s.name == "analyze_capture")
+                .map_or(0, |s| s.dur_nanos),
+            threads: snapshot.gauge("analysis.threads").unwrap_or(0) as usize,
+        };
+        true
+    }
+
     /// One-paragraph summary with the headline numbers.
     pub fn summary(&self) -> String {
         format!(
@@ -329,6 +389,51 @@ mod tests {
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back.instance_count(), r.instance_count());
         assert_eq!(back.flagged_instance_count(), r.flagged_instance_count());
+    }
+
+    #[test]
+    fn timings_survive_a_round_trip_via_telemetry() {
+        // Regression: `timings` is serde-skipped, so it used to be lost on
+        // every save/load. With telemetry the per-instance measurements ride
+        // along as spans and can be restored.
+        let telemetry = dsspy_telemetry::Telemetry::enabled();
+        let r = Dsspy::new().with_threads(2).profile_with(
+            |session| {
+                let mut hot = SpyVec::register(session, site!("hot"));
+                for i in 0..500 {
+                    hot.add(i);
+                }
+                let mut quiet = SpyVec::register(session, site!("quiet"));
+                quiet.add(1);
+            },
+            &telemetry,
+        );
+        assert!(r.telemetry.is_some(), "observed run embeds its snapshot");
+        let json = serde_json::to_string(&r).unwrap();
+        let mut back: Report = serde_json::from_str(&json).unwrap();
+        assert!(
+            back.timings.per_instance.is_empty(),
+            "timings are still not serialized directly"
+        );
+        assert!(back.restore_timings_from_telemetry());
+        assert_eq!(back.timings.per_instance.len(), back.instances.len());
+        assert_eq!(back.timings.threads, 2);
+        assert!(back.timings.wall_nanos > 0);
+        // Every instance that has events did measurable mining work.
+        for (timing, inst) in back.timings.per_instance.iter().zip(&back.instances) {
+            if inst.events > 0 {
+                assert!(timing.total_nanos() > 0, "instance {:?}", inst.instance.id);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_without_telemetry_is_a_noop() {
+        let mut r = sample_report();
+        r.telemetry = None;
+        let before = r.timings.clone();
+        assert!(!r.restore_timings_from_telemetry());
+        assert_eq!(r.timings.per_instance.len(), before.per_instance.len());
     }
 }
 

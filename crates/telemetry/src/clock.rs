@@ -1,0 +1,90 @@
+//! Time sources for telemetry: monotonic wall time or an injectable manual
+//! clock for deterministic tests.
+//!
+//! Mirrors the design of `dsspy_collect::clock::SessionClock` (monotonic
+//! [`Instant`] anchored at creation), with one addition: tests can swap in a
+//! [`ManualClock`] they advance by hand, so span durations and histogram
+//! samples are exact, reproducible numbers instead of wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a [`crate::Telemetry`] instance reads its nanosecond timestamps.
+#[derive(Clone, Debug)]
+pub enum ClockSource {
+    /// Monotonic wall time, anchored at telemetry creation.
+    Monotonic(Instant),
+    /// A hand-advanced counter shared with a [`ManualClock`].
+    Manual(Arc<AtomicU64>),
+}
+
+impl ClockSource {
+    /// Nanoseconds elapsed since the telemetry instance was created.
+    #[inline]
+    pub fn nanos(&self) -> u64 {
+        match self {
+            ClockSource::Monotonic(start) => start.elapsed().as_nanos() as u64,
+            ClockSource::Manual(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ClockSource {
+    fn default() -> Self {
+        ClockSource::Monotonic(Instant::now())
+    }
+}
+
+/// Writer half of an injected test clock: `advance` moves telemetry time
+/// forward deterministically.
+#[derive(Clone, Debug)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A manual clock starting at zero, plus the [`ClockSource`] to hand to
+    /// [`crate::Telemetry::with_clock`].
+    pub fn new() -> (ManualClock, ClockSource) {
+        let cell = Arc::new(AtomicU64::new(0));
+        (ManualClock(Arc::clone(&cell)), ClockSource::Manual(cell))
+    }
+
+    /// Move time forward by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.0.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Jump time to an absolute value.
+    pub fn set(&self, nanos: u64) {
+        self.0.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current reading.
+    pub fn nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_moves_forward() {
+        let clock = ClockSource::default();
+        let a = clock.nanos();
+        let b = clock.nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let (hand, source) = ManualClock::new();
+        assert_eq!(source.nanos(), 0);
+        hand.advance(250);
+        assert_eq!(source.nanos(), 250);
+        hand.set(1_000);
+        assert_eq!(source.nanos(), 1_000);
+        assert_eq!(hand.nanos(), 1_000);
+    }
+}

@@ -1,0 +1,396 @@
+//! Lock-light metric primitives: atomic counters, gauges, and fixed-bucket
+//! histograms, plus the registry that names them.
+//!
+//! The hot-path contract is the one DINAMITE-style always-on instrumentation
+//! needs: after a handle is resolved once (`Telemetry::counter(...)`),
+//! recording is a single relaxed atomic RMW — no locks, no allocation, no
+//! formatting. The registry itself takes a lock only at handle-resolution
+//! time, which callers do once per metric, outside their hot loops.
+//!
+//! Histograms use 65 fixed power-of-two buckets over `u64` values: bucket 0
+//! holds exactly the value `0`, bucket `i` (1 ≤ i ≤ 63) holds the range
+//! `[2^(i-1), 2^i - 1]`, and bucket 64 holds `[2^63, u64::MAX]`. Power-of-two
+//! boundaries make `bucket_index` a `leading_zeros` instruction, cover the
+//! full nanosecond range a session can produce, and merge shard-wise with a
+//! plain element sum.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Number of fixed histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: `0` for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`; `None` means unbounded (`+Inf`).
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    match i {
+        0 => Some(0),
+        _ if i < HISTOGRAM_BUCKETS - 1 => Some((1u64 << i) - 1),
+        _ => None,
+    }
+}
+
+/// A monotonically increasing counter handle. Cheap to clone; `None` inside
+/// means telemetry is disabled and every operation is a no-op branch.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge handle with a high-watermark variant.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Store the current reading.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `value` if it is higher than the stored reading
+    /// (peak tracking).
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current reading (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCell {
+    fn new() -> HistogramCell {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle (latencies, sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(value);
+        }
+    }
+
+    /// Number of observations so far (`0` when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time copy of one counter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name (dot-separated, e.g. `collector.events`).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of one gauge.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last stored reading.
+    pub value: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`0` when empty).
+    pub min: u64,
+    /// Largest observed value (`0` when empty).
+    pub max: u64,
+    /// Per-bucket observation counts, [`HISTOGRAM_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another shard of the same histogram into this one. Counts and
+    /// buckets add; min/max combine; empty shards are identity elements, so
+    /// merging is commutative and associative in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// Named metric storage for one telemetry instance.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a write lock and is
+/// expected once per call site; the returned handles touch only atomics.
+#[derive(Debug, Default)]
+pub(crate) struct MetricRegistry {
+    counters: RwLock<Vec<(&'static str, Arc<AtomicU64>)>>,
+    gauges: RwLock<Vec<(&'static str, Arc<AtomicU64>)>>,
+    histograms: RwLock<Vec<(&'static str, Arc<HistogramCell>)>>,
+}
+
+fn get_or_insert<T>(
+    slot: &RwLock<Vec<(&'static str, Arc<T>)>>,
+    name: &'static str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some((_, cell)) = slot.read().iter().find(|(n, _)| *n == name) {
+        return Arc::clone(cell);
+    }
+    let mut write = slot.write();
+    if let Some((_, cell)) = write.iter().find(|(n, _)| *n == name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(make());
+    write.push((name, Arc::clone(&cell)));
+    cell
+}
+
+impl MetricRegistry {
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        get_or_insert(&self.counters, name, || AtomicU64::new(0))
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str) -> Arc<AtomicU64> {
+        get_or_insert(&self.gauges, name, || AtomicU64::new(0))
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<HistogramCell> {
+        get_or_insert(&self.histograms, name, HistogramCell::new)
+    }
+
+    pub(crate) fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        let mut out: Vec<CounterSnapshot> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, cell)| CounterSnapshot {
+                name: name.to_string(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    pub(crate) fn gauge_snapshots(&self) -> Vec<GaugeSnapshot> {
+        let mut out: Vec<GaugeSnapshot> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, cell)| GaugeSnapshot {
+                name: name.to_string(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    pub(crate) fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        let mut out: Vec<HistogramSnapshot> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, cell)| cell.snapshot(name))
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 63), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index((1 << 63) - 1), HISTOGRAM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn every_bucket_boundary_is_consistent() {
+        // For every bounded bucket, its upper bound lands in it and the next
+        // integer lands in the next bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            match bucket_upper_bound(i) {
+                Some(ub) => {
+                    assert_eq!(bucket_index(ub), i, "upper bound of bucket {i}");
+                    assert_eq!(bucket_index(ub + 1), i + 1, "first value past bucket {i}");
+                }
+                None => assert_eq!(i, HISTOGRAM_BUCKETS - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes() {
+        let cell = HistogramCell::new();
+        cell.record(0);
+        cell.record(u64::MAX);
+        let snap = cell.snapshot("h");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_normalizes_min() {
+        let snap = HistogramCell::new().snapshot("h");
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_reuses_cells_by_name() {
+        let reg = MetricRegistry::default();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(reg.counter_snapshots()[0].value, 5);
+        assert_eq!(reg.counter_snapshots().len(), 1);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let c = Counter::default();
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(9);
+        g.set_max(11);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::default();
+        h.record(1);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Hierarchical spans: named, categorized wall-time intervals.
+//!
+//! A span is opened with [`crate::Telemetry::span`] and closed when the
+//! returned guard drops; nesting on one thread yields the hierarchy (a
+//! child's interval is contained in its parent's, and its `depth` is one
+//! deeper). Each record carries a telemetry-local thread ordinal so per-
+//! worker utilization and load imbalance are visible, and the Chrome
+//! `trace_event` exporter can put each worker on its own track.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TelemetryInner;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Category (e.g. `analysis`, `persist`, `collector`).
+    pub cat: String,
+    /// Span name (e.g. `analyze_capture`, `mine#3`).
+    pub name: String,
+    /// Telemetry-local ordinal of the thread that ran the span (first
+    /// recording thread is 0).
+    pub thread: u32,
+    /// Start time on the telemetry clock, nanoseconds.
+    pub start_nanos: u64,
+    /// Duration, nanoseconds.
+    pub dur_nanos: u64,
+    /// Nesting depth at open time (0 = top level on its thread).
+    pub depth: u32,
+}
+
+/// The calling thread's span-local state: ordinal + live-span depth.
+#[inline]
+pub(crate) fn thread_ord() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static ORD: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORD.with(|o| *o)
+}
+
+thread_local! {
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard returned by [`crate::Telemetry::span`]; records the span when
+/// dropped. The disabled variant is a no-op.
+#[derive(Debug)]
+pub struct SpanGuard {
+    pub(crate) state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpanState {
+    pub(crate) inner: std::sync::Arc<TelemetryInner>,
+    pub(crate) cat: &'static str,
+    pub(crate) name: String,
+    pub(crate) start_nanos: u64,
+    pub(crate) depth: u32,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard { state: None }
+    }
+
+    pub(crate) fn open(
+        inner: std::sync::Arc<TelemetryInner>,
+        cat: &'static str,
+        name: String,
+    ) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let start_nanos = inner.clock.nanos();
+        SpanGuard {
+            state: Some(SpanState {
+                inner,
+                cat,
+                name,
+                start_nanos,
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let end = state.inner.clock.nanos();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        state.inner.spans.lock().push(SpanRecord {
+            cat: state.cat.to_string(),
+            name: state.name,
+            thread: thread_ord(),
+            start_nanos: state.start_nanos,
+            dur_nanos: end.saturating_sub(state.start_nanos),
+            depth: state.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ManualClock, Telemetry};
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let (hand, source) = ManualClock::new();
+        let telemetry = Telemetry::with_clock(source);
+        {
+            let _outer = telemetry.span("t", "outer");
+            hand.advance(10);
+            {
+                let _inner = telemetry.span("t", "inner");
+                hand.advance(5);
+            }
+            hand.advance(1);
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Spans are sorted by start time: outer first.
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.dur_nanos, 16);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.start_nanos, 10);
+        assert_eq!(inner.dur_nanos, 5);
+        assert!(inner.start_nanos >= outer.start_nanos);
+        assert!(
+            inner.start_nanos + inner.dur_nanos <= outer.start_nanos + outer.dur_nanos,
+            "child interval must be contained in the parent's"
+        );
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let telemetry = Telemetry::disabled();
+        {
+            let _g = telemetry.span("t", "ghost");
+        }
+        assert!(telemetry.snapshot().spans.is_empty());
+    }
+}

@@ -12,10 +12,23 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the root package does not depend on the `dsspy`
+# binary, so a bare `cargo build` would leave target/release/dsspy stale.
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> telemetry smoke (demo -> analyze --telemetry -> prometheus --check)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/dsspy demo "$SMOKE_DIR/smoke.dsspycap" >/dev/null
+./target/release/dsspy analyze "$SMOKE_DIR/smoke.dsspycap" \
+    --telemetry "$SMOKE_DIR/smoke.telemetry.json" >/dev/null
+test -s "$SMOKE_DIR/smoke.telemetry.json"
+# --check validates the Prometheus exposition; a malformed export fails here.
+./target/release/dsspy telemetry "$SMOKE_DIR/smoke.dsspycap" \
+    --format prometheus --check >/dev/null
 
 echo "tier1: OK"

@@ -193,6 +193,17 @@ pub mod channel {
             }
         }
 
+        /// Number of messages queued right now (matches the real crate's
+        /// `Receiver::len`; a snapshot, stale as soon as it returns).
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// Whether the channel holds no messages right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Take the next message if one is queued right now.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.inner.lock();
@@ -247,6 +258,19 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(2));
         assert!(rx.recv().is_err());
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn len_reports_queue_depth() {
+        let (tx, rx) = unbounded();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        rx.recv().unwrap();
+        assert!(rx.is_empty());
     }
 
     #[test]
