@@ -4,7 +4,7 @@ use std::path::{Path, PathBuf};
 
 use dsspy_cli::{
     cmd_analyze, cmd_chart, cmd_csv, cmd_demo, cmd_diff, cmd_report, cmd_sketch, cmd_telemetry,
-    cmd_timeline,
+    cmd_telemetry_serve, cmd_timeline, cmd_watch,
 };
 
 fn usage() -> ! {
@@ -17,9 +17,16 @@ fn usage() -> ! {
          dsspy report   <capture> --out <report.html> [--threads N] [--telemetry PATH]\n  \
          dsspy csv      <capture> <instances|usecases>\n  \
          dsspy telemetry <capture> [--threads N] [--format summary|json|prometheus|trace] [--check]\n  \
-         dsspy demo     <out.dsspycap> [--workload NAME]\n\
+         dsspy telemetry serve <capture> [--addr HOST:PORT] [--requests N] [--self-check] [--threads N]\n  \
+         dsspy demo     <out.dsspycap> [--workload NAME] [--live]\n  \
+         dsspy watch    <capture> [--batch N] [--window N] [--every N] [--frames N]\n\
          \n--threads: analysis workers (0 = one per core, 1 = sequential)\n\
-         --telemetry PATH: self-observe the run; write the snapshot to PATH as JSON"
+         --telemetry PATH: self-observe the run; write the snapshot to PATH as JSON\n\
+         --live: stream the demo session through the collector tap while it runs\n\
+         watch: --batch events per replayed batch, --window retained events per instance,\n\
+         \u{20}       --every snapshot cadence in batches, --frames max frames printed\n\
+         serve: --addr listen address (port 0 = ephemeral), --requests scrapes before exit\n\
+         \u{20}      (default: forever), --self-check scrape yourself and validate"
     );
     std::process::exit(2)
 }
@@ -52,6 +59,12 @@ fn main() {
                         | "--telemetry"
                         | "--format"
                         | "--workload"
+                        | "--addr"
+                        | "--requests"
+                        | "--batch"
+                        | "--window"
+                        | "--every"
+                        | "--frames"
                 )
         })
         .collect();
@@ -119,17 +132,48 @@ fn main() {
             )
         }
         "telemetry" => {
-            let Some(path) = positional.first() else {
-                usage()
-            };
-            let format = value("--format").unwrap_or_else(|| "summary".to_string());
-            cmd_telemetry(Path::new(path), threads, &format, flag("--check"))
+            if positional.first().map(|s| s.as_str()) == Some("serve") {
+                let Some(path) = positional.get(1) else {
+                    usage()
+                };
+                let addr = value("--addr").unwrap_or_else(|| "127.0.0.1:9464".to_string());
+                let requests = value("--requests").and_then(|v| v.parse().ok());
+                cmd_telemetry_serve(
+                    Path::new(path),
+                    threads,
+                    &addr,
+                    requests,
+                    flag("--self-check"),
+                )
+            } else {
+                let Some(path) = positional.first() else {
+                    usage()
+                };
+                let format = value("--format").unwrap_or_else(|| "summary".to_string());
+                cmd_telemetry(Path::new(path), threads, &format, flag("--check"))
+            }
         }
         "demo" => {
             let Some(out) = positional.first() else {
                 usage()
             };
-            cmd_demo(Path::new(out), value("--workload").as_deref())
+            cmd_demo(
+                Path::new(out),
+                value("--workload").as_deref(),
+                flag("--live"),
+            )
+        }
+        "watch" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let batch: usize = value("--batch").and_then(|v| v.parse().ok()).unwrap_or(512);
+            let window: usize = value("--window")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1024);
+            let every: u64 = value("--every").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let frames: usize = value("--frames").and_then(|v| v.parse().ok()).unwrap_or(12);
+            cmd_watch(Path::new(path), batch, window, every, frames)
         }
         _ => usage(),
     };

@@ -13,8 +13,18 @@
 //! dsspy sketch   capture.dsspycap
 //! dsspy report   capture.dsspycap --out report.html [--threads N] [--telemetry t.json]
 //! dsspy telemetry capture.dsspycap [--format summary|json|prometheus|trace] [--check]
-//! dsspy demo     out.dsspycap [--workload NAME]
+//! dsspy telemetry serve capture.dsspycap --addr 127.0.0.1:9464 [--requests N] [--self-check]
+//! dsspy demo     out.dsspycap [--workload NAME] [--live]
+//! dsspy watch    capture.dsspycap [--batch N] [--window N] [--every N] [--frames N]
 //! ```
+//!
+//! `dsspy watch` replays a capture through `dsspy-stream`'s
+//! [`StreamingAnalyzer`] — the same incremental fold the live collector tap
+//! runs — printing a frame per published snapshot and proving on exit that
+//! the streamed verdicts equal the post-mortem analysis. `dsspy demo
+//! --live` does the same against a genuinely live session. `dsspy telemetry
+//! serve` exposes the self-observed analysis as a Prometheus scrape
+//! endpoint over a plain-stdlib TCP listener.
 //!
 //! `--threads` controls the analysis fan-out of the commands that run the
 //! full pipeline (`0` = one worker per core, `1` = sequential); the output
@@ -35,6 +45,7 @@ use dsspy_collect::{
 };
 use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy, Report};
 use dsspy_patterns::{analyze, segment_phases, MinerConfig, PhaseConfig};
+use dsspy_stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer};
 use dsspy_telemetry::{export, OverheadReport, Telemetry};
 use dsspy_viz::html_report;
 use dsspy_viz::{profile_chart_svg, profile_chart_text, timeline_svg, timeline_text, ChartConfig};
@@ -54,6 +65,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// A telemetry export failed validation or could not be produced.
     Telemetry(String),
+    /// The streaming analyzer misbehaved (no snapshot, or divergence from
+    /// the post-mortem verdicts).
+    Stream(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -66,6 +80,7 @@ impl std::fmt::Display for CliError {
             CliError::Json(e) => write!(f, "cannot serialize report: {e}"),
             CliError::Io(e) => write!(f, "cannot write output: {e}"),
             CliError::Telemetry(e) => write!(f, "telemetry export: {e}"),
+            CliError::Stream(e) => write!(f, "streaming analysis: {e}"),
         }
     }
 }
@@ -291,7 +306,12 @@ pub fn cmd_telemetry(
 /// `dsspy demo`: record one of the paper's seven evaluation workloads at
 /// test scale and save the capture — a self-contained way to produce input
 /// for every other command (and for the tier-1 smoke test).
-pub fn cmd_demo(out: &Path, workload: Option<&str>) -> Result<String, CliError> {
+///
+/// With `live`, the session additionally feeds a
+/// [`StreamingAnalyzer`] through the collector tap while the workload runs,
+/// and the command verifies on exit that the streamed verdicts equal the
+/// post-mortem analysis of the very capture it just saved.
+pub fn cmd_demo(out: &Path, workload: Option<&str>, live: bool) -> Result<String, CliError> {
     let suite = suite7();
     let name = workload.unwrap_or("WordWheelSolver");
     let w = suite
@@ -310,18 +330,242 @@ pub fn cmd_demo(out: &Path, workload: Option<&str>) -> Result<String, CliError> 
     // Record under an observed session so the capture carries collection-time
     // telemetry (collector histograms, queue pressure) into offline analysis.
     let telemetry = Telemetry::enabled();
-    let session = Session::with_telemetry(Default::default(), telemetry.clone());
+    let streaming = live.then(|| {
+        StreamingAnalyzer::with_telemetry(
+            Dsspy::new().with_threads(1),
+            StreamConfig::default(),
+            telemetry.clone(),
+        )
+    });
+    let session = match &streaming {
+        Some(s) => s.attach(),
+        None => Session::with_telemetry(Default::default(), telemetry.clone()),
+    };
     w.run(Scale::Test, Mode::Instrumented(&session));
     let capture = session.finish();
     let instances = capture.profiles.len();
     let events: u64 = capture.profiles.iter().map(|p| p.events.len() as u64).sum();
     save_capture_with(&capture, out, &telemetry)?;
-    Ok(format!(
+    let mut msg = format!(
         "wrote {} ({} instances, {events} events) from workload {}",
         out.display(),
         instances,
         w.spec().name
-    ))
+    );
+    if let Some(streaming) = streaming {
+        let stats = streaming.stats();
+        let live_report = streaming
+            .latest_report()
+            .ok_or_else(|| CliError::Stream("session ended without a snapshot".into()))?;
+        let post = Dsspy::new().with_threads(1).analyze_capture(&capture);
+        let converged = instances_match(&live_report, &post)?;
+        msg.push_str(&format!(
+            "; live stream folded {} events in {} batches into {} snapshot(s), verdicts match post-mortem: {}",
+            stats.events,
+            stats.batches,
+            stats.snapshots,
+            if converged { "yes" } else { "NO" }
+        ));
+        if !converged {
+            return Err(CliError::Stream(
+                "live streaming verdicts diverged from post-mortem analysis".into(),
+            ));
+        }
+    }
+    Ok(msg)
+}
+
+/// Whether two reports carry byte-identical per-instance verdicts
+/// (classifications, evidence, metrics, patterns, advisories and
+/// recommended actions all ride in the serialized instance reports).
+fn instances_match(a: &Report, b: &Report) -> Result<bool, CliError> {
+    let a = serde_json::to_string(&a.instances).map_err(|e| CliError::Json(e.to_string()))?;
+    let b = serde_json::to_string(&b.instances).map_err(|e| CliError::Json(e.to_string()))?;
+    Ok(a == b)
+}
+
+/// `dsspy watch`: replay a saved capture through the streaming analyzer as
+/// if its session were still running — a frame per published snapshot —
+/// then prove the stream converged to the post-mortem verdicts.
+///
+/// `batch` is the replayed batch size in events, `window` the per-instance
+/// retained-event cap, `every` the snapshot cadence in batches, and
+/// `max_frames` bounds how many frames are rendered (later snapshots still
+/// happen; they just aren't printed).
+pub fn cmd_watch(
+    path: &Path,
+    batch: usize,
+    window: usize,
+    every: u64,
+    max_frames: usize,
+) -> Result<String, CliError> {
+    let capture = load_capture(path)?;
+    let dsspy = Dsspy::new().with_threads(1);
+    let config = StreamConfig {
+        window_events: window,
+        max_retained_patterns: 0,
+        snapshots: SnapshotPolicy {
+            every_batches: every.max(1),
+            ..SnapshotPolicy::default()
+        },
+    };
+    let streaming = StreamingAnalyzer::new(dsspy, config);
+    for profile in &capture.profiles {
+        streaming.register_instance(profile.instance.clone());
+    }
+    let mut out = String::new();
+    let mut frames = 0usize;
+    let mut seen_snapshots = 0u64;
+    for profile in &capture.profiles {
+        for chunk in profile.events.chunks(batch.max(1)) {
+            streaming.fold_batch(profile.instance.id, chunk, 0);
+            let stats = streaming.stats();
+            if stats.snapshots > seen_snapshots {
+                seen_snapshots = stats.snapshots;
+                if frames < max_frames {
+                    frames += 1;
+                    let report = streaming
+                        .latest_report()
+                        .ok_or_else(|| CliError::Stream("snapshot counter ran ahead".into()))?;
+                    out.push_str(&format!(
+                        "frame {frames}: {} events in {} batches | {}/{} instances flagged, \
+                         {} use cases | window {} (peak {})\n",
+                        stats.events,
+                        stats.batches,
+                        report.flagged_instance_count(),
+                        report.instance_count(),
+                        report.all_use_cases().len(),
+                        stats.window_events,
+                        stats.window_peak,
+                    ));
+                }
+            }
+        }
+    }
+    streaming.finish_replay(&capture.stats, capture.session_nanos);
+    let live = streaming
+        .latest_report()
+        .ok_or_else(|| CliError::Stream("replay ended without a snapshot".into()))?;
+    let post = dsspy.analyze_capture(&capture);
+    let converged = instances_match(&live, &post)?;
+    out.push('\n');
+    out.push_str(&live.summary());
+    out.push_str("\n\n");
+    out.push_str(&live.render_use_cases());
+    out.push_str(&format!(
+        "streaming verdicts match post-mortem analysis: {}\n",
+        if converged { "yes" } else { "NO" }
+    ));
+    if !converged {
+        return Err(CliError::Stream(
+            "streaming verdicts diverged from post-mortem analysis".into(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `dsspy telemetry serve`: self-observe a full analysis of the capture and
+/// expose the snapshot as a Prometheus scrape endpoint on a plain-stdlib
+/// [`std::net::TcpListener`] — the continuous-export counterpart of
+/// `dsspy telemetry --format prometheus`.
+///
+/// `requests` bounds how many scrapes are served before the command returns
+/// (`None` serves forever). With `self_check`, the command scrapes itself
+/// over a real TCP connection and runs [`validate_prometheus`] on what came
+/// back — a curl-free smoke test of the whole wire path (the internal
+/// scrape counts toward `requests`).
+pub fn cmd_telemetry_serve(
+    path: &Path,
+    threads: usize,
+    addr: &str,
+    requests: Option<u64>,
+    self_check: bool,
+) -> Result<String, CliError> {
+    use std::io::{Read, Write};
+
+    let telemetry = Telemetry::enabled();
+    let (_, report) = analyze_capture_file(path, false, threads, &telemetry)?;
+    let snapshot = report
+        .telemetry
+        .as_ref()
+        .ok_or_else(|| CliError::Telemetry("run produced no snapshot".into()))?;
+    let body = export::prometheus(snapshot);
+    validate_prometheus(&body).map_err(CliError::Telemetry)?;
+
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("serving Prometheus metrics on http://{local}/metrics");
+    let checker = self_check.then(|| {
+        std::thread::spawn(move || -> Result<String, String> {
+            let mut stream = std::net::TcpStream::connect(local).map_err(|e| e.to_string())?;
+            stream
+                .write_all(b"GET /metrics HTTP/1.0\r\nHost: dsspy\r\n\r\n")
+                .map_err(|e| e.to_string())?;
+            let mut response = String::new();
+            stream
+                .read_to_string(&mut response)
+                .map_err(|e| e.to_string())?;
+            let (_headers, body) = response
+                .split_once("\r\n\r\n")
+                .ok_or_else(|| "malformed HTTP response".to_string())?;
+            Ok(body.to_string())
+        })
+    });
+
+    let mut served = 0u64;
+    for conn in listener.incoming() {
+        let mut conn = conn?;
+        let mut buf = [0u8; 1024];
+        let n = conn.read(&mut buf).unwrap_or(0);
+        let request = String::from_utf8_lossy(&buf[..n]);
+        let path_ok = request
+            .lines()
+            .next()
+            .map(|l| {
+                let mut parts = l.split_whitespace();
+                parts.next(); // method
+                matches!(parts.next(), Some("/") | Some("/metrics"))
+            })
+            .unwrap_or(false);
+        let (status, payload) = if path_ok {
+            ("200 OK", body.as_str())
+        } else {
+            ("404 Not Found", "only / and /metrics exist here\n")
+        };
+        let _ = conn.write_all(
+            format!(
+                "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+                 charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len()
+            )
+            .as_bytes(),
+        );
+        served += 1;
+        if let Some(max) = requests {
+            if served >= max {
+                break;
+            }
+        }
+    }
+
+    let mut msg = format!(
+        "served {served} scrape(s) of {} bytes from http://{local}/metrics",
+        body.len()
+    );
+    if let Some(handle) = checker {
+        let scraped = handle
+            .join()
+            .map_err(|_| CliError::Telemetry("self-check thread panicked".into()))?
+            .map_err(CliError::Telemetry)?;
+        validate_prometheus(&scraped).map_err(CliError::Telemetry)?;
+        if scraped != body {
+            return Err(CliError::Telemetry(
+                "self-check scrape differs from the exposition".into(),
+            ));
+        }
+        msg.push_str("; self-check scrape validated");
+    }
+    Ok(msg)
 }
 
 /// Validate a Prometheus text-format exposition (the subset the exporter
@@ -566,5 +810,55 @@ mod tests {
         let err =
             cmd_analyze(Path::new("/nonexistent.dsspycap"), false, false, 0, None).unwrap_err();
         assert!(matches!(err, CliError::Capture(_)));
+    }
+
+    #[test]
+    fn watch_replays_frames_and_converges() {
+        let path = temp_capture(true, "watch.dsspycap");
+        let out = cmd_watch(&path, 32, 64, 1, 8).unwrap();
+        assert!(out.contains("frame 1:"), "{out}");
+        assert!(
+            out.contains("streaming verdicts match post-mortem analysis: yes"),
+            "{out}"
+        );
+        assert!(out.contains("Long-Insert"), "{out}");
+    }
+
+    #[test]
+    fn watch_frame_cap_still_converges() {
+        let path = temp_capture(true, "watchcap.dsspycap");
+        let out = cmd_watch(&path, 8, 4, 1, 2).unwrap();
+        // Only two frames printed, but the final verdict section is intact.
+        assert!(out.contains("frame 2:"), "{out}");
+        assert!(!out.contains("frame 3:"), "{out}");
+        assert!(out.contains("match post-mortem analysis: yes"), "{out}");
+    }
+
+    #[test]
+    fn demo_live_streams_and_converges() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo-live.dsspycap");
+        let msg = cmd_demo(&path, Some("wordwheelsolver"), true).unwrap();
+        assert!(msg.contains("live stream folded"), "{msg}");
+        assert!(msg.contains("verdicts match post-mortem: yes"), "{msg}");
+        // The capture is still a normal capture every other command reads.
+        let text = cmd_analyze(&path, false, false, 1, None).unwrap();
+        assert!(text.contains("data structure instances"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_serve_self_check_round_trips() {
+        let path = temp_capture(true, "serve.dsspycap");
+        let msg = cmd_telemetry_serve(&path, 1, "127.0.0.1:0", Some(1), true).unwrap();
+        assert!(msg.contains("served 1 scrape(s)"), "{msg}");
+        assert!(msg.contains("self-check scrape validated"), "{msg}");
+    }
+
+    #[test]
+    fn telemetry_serve_rejects_bad_addr() {
+        let path = temp_capture(true, "servebad.dsspycap");
+        let err = cmd_telemetry_serve(&path, 1, "256.0.0.1:99999", Some(1), false).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
     }
 }

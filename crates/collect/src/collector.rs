@@ -21,8 +21,38 @@ pub(crate) enum Msg {
     /// field is the telemetry-clock time the batch was shipped (0 when
     /// telemetry is disabled), so the collector can report queue wait.
     Batch(InstanceId, Vec<AccessEvent>, u64),
-    /// Session shutdown: drain whatever is already queued, then stop.
-    Stop,
+    /// Session shutdown: drain whatever is already queued, then stop. Carries
+    /// the session's wall-clock duration so taps can finalize with the same
+    /// `session_nanos` the capture reports (0 when the senders simply
+    /// dropped without `Session::finish`).
+    Stop {
+        /// Session duration at shutdown, nanoseconds.
+        session_nanos: u64,
+    },
+}
+
+/// Observer of the collector's batch path — the subscription point for
+/// streaming consumers (`dsspy-stream`'s `StreamingAnalyzer` attaches here).
+///
+/// The tap runs *on the collector thread*: it sees every stored batch, in
+/// arrival order, before the batch is folded into the post-mortem event map.
+/// Batches drained after [`Msg::Stop`] — the ones counted into
+/// [`CollectorStats::dropped`] — are **not** tapped, so a tap observes
+/// exactly the events that end up in the session's [`Capture`].
+///
+/// Implementations should be quick: time spent in the tap is collector busy
+/// time and is attributed to `collector.batch_handle_nanos` when telemetry
+/// is enabled.
+pub trait CollectorTap: Send {
+    /// One stored batch: the instance it belongs to, its events (per-thread
+    /// chronological order), and the channel depth observed *behind* this
+    /// batch — the backpressure signal.
+    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize);
+
+    /// Session shutdown, after the post-stop drain. `session_nanos` is the
+    /// session duration from [`Msg::Stop`] (0 when senders dropped without a
+    /// `finish`).
+    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64);
 }
 
 /// Counters describing what the collector saw. Used by the evaluation to
@@ -54,6 +84,7 @@ pub struct CollectorStats {
 pub(crate) fn spawn(
     rx: Receiver<Msg>,
     telemetry: Telemetry,
+    mut tap: Option<Box<dyn CollectorTap>>,
 ) -> JoinHandle<(HashMap<InstanceId, Vec<AccessEvent>>, CollectorStats)> {
     std::thread::Builder::new()
         .name("dsspy-collector".into())
@@ -69,16 +100,23 @@ pub(crate) fn spawn(
 
             let mut map: HashMap<InstanceId, Vec<AccessEvent>> = HashMap::new();
             let mut stats = CollectorStats::default();
+            let mut session_nanos = 0u64;
             // Phase 1: normal operation until Stop (or all senders gone).
             while let Ok(msg) = rx.recv() {
                 match msg {
                     Msg::Batch(id, batch, sent_nanos) => {
+                        // Depth *behind* this batch: what is still queued
+                        // after we took ours. The backpressure signal both
+                        // telemetry and the tap consume; skipped entirely on
+                        // the bare path so tap-disabled cost stays one branch.
+                        let depth = if enabled || tap.is_some() {
+                            rx.len()
+                        } else {
+                            0
+                        };
                         let start_nanos = if enabled {
-                            // Depth *behind* this batch: what is still queued
-                            // after we took ours.
-                            let depth = rx.len() as u64;
-                            queue_depth.set(depth);
-                            queue_peak.set_max(depth);
+                            queue_depth.set(depth as u64);
+                            queue_peak.set_max(depth as u64);
                             let now = telemetry.now_nanos();
                             batch_wait.record(now.saturating_sub(sent_nanos));
                             batch_events.record(batch.len() as u64);
@@ -86,6 +124,9 @@ pub(crate) fn spawn(
                         } else {
                             0
                         };
+                        if let Some(tap) = tap.as_deref_mut() {
+                            tap.on_batch(id, &batch, depth);
+                        }
                         stats.events += batch.len() as u64;
                         stats.batches += 1;
                         map.entry(id).or_default().extend(batch);
@@ -95,14 +136,22 @@ pub(crate) fn spawn(
                             busy.add(spent);
                         }
                     }
-                    Msg::Stop => break,
+                    Msg::Stop { session_nanos: n } => {
+                        session_nanos = n;
+                        break;
+                    }
                 }
             }
             // Phase 2: drain post-shutdown stragglers without storing them.
+            // Dropped batches are *not* tapped: a tap mirrors the capture,
+            // and the capture excludes them too.
             while let Ok(msg) = rx.try_recv() {
                 if let Msg::Batch(_, batch, _) = msg {
                     stats.dropped += batch.len() as u64;
                 }
+            }
+            if let Some(tap) = tap.as_deref_mut() {
+                tap.on_stop(&stats, session_nanos);
             }
             // The queue is fully drained; leave the gauge reflecting that,
             // and publish the final counters alongside `CollectorStats`.
@@ -249,14 +298,14 @@ mod tests {
     #[test]
     fn collector_thread_drains_after_stop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx, Telemetry::disabled());
+        let join = spawn(rx, Telemetry::disabled(), None);
         tx.send(Msg::Batch(
             InstanceId(0),
             vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
             0,
         ))
         .unwrap();
-        tx.send(Msg::Stop).unwrap();
+        tx.send(Msg::Stop { session_nanos: 42 }).unwrap();
         // Queued before the collector exits its drain loop is not guaranteed
         // for sends *after* Stop, but sends before Stop must be stored.
         let (map, stats) = join.join().unwrap();
@@ -271,7 +320,7 @@ mod tests {
         // Queue Stop and then a late batch *before* the collector starts:
         // FIFO delivery then guarantees the batch is seen after the Stop
         // marker, i.e. in the post-shutdown drain.
-        tx.send(Msg::Stop).unwrap();
+        tx.send(Msg::Stop { session_nanos: 0 }).unwrap();
         tx.send(Msg::Batch(
             InstanceId(9),
             vec![
@@ -281,7 +330,7 @@ mod tests {
             0,
         ))
         .unwrap();
-        let (map, stats) = spawn(rx, Telemetry::disabled()).join().unwrap();
+        let (map, stats) = spawn(rx, Telemetry::disabled(), None).join().unwrap();
         assert!(map.is_empty(), "post-shutdown events must not be stored");
         assert_eq!(stats.dropped, 2);
         assert_eq!(stats.events, 0);
@@ -291,7 +340,7 @@ mod tests {
     #[test]
     fn collector_thread_stops_when_senders_drop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx, Telemetry::disabled());
+        let join = spawn(rx, Telemetry::disabled(), None);
         tx.send(Msg::Batch(
             InstanceId(3),
             vec![AccessEvent::at(0, AccessKind::Read, 0, 1)],
@@ -302,5 +351,71 @@ mod tests {
         let (map, stats) = join.join().unwrap();
         assert_eq!(stats.events, 1);
         assert!(map.contains_key(&InstanceId(3)));
+    }
+
+    #[test]
+    fn tap_sees_stored_batches_but_not_dropped_ones() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Seen {
+            batches: Vec<(InstanceId, usize)>,
+            stopped: Option<(CollectorStats, u64)>,
+        }
+        struct RecordingTap(Arc<Mutex<Seen>>);
+        impl CollectorTap for RecordingTap {
+            fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], _depth: usize) {
+                self.0.lock().unwrap().batches.push((id, events.len()));
+            }
+            fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+                self.0.lock().unwrap().stopped = Some((*stats, session_nanos));
+            }
+        }
+
+        let seen = Arc::new(Mutex::new(Seen::default()));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        // Queue everything *before* spawning: FIFO delivery then guarantees
+        // the straggler is seen after Stop, i.e. in the post-shutdown drain.
+        tx.send(Msg::Batch(
+            InstanceId(1),
+            vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
+            0,
+        ))
+        .unwrap();
+        tx.send(Msg::Batch(
+            InstanceId(2),
+            vec![
+                AccessEvent::at(1, AccessKind::Insert, 0, 1),
+                AccessEvent::at(2, AccessKind::Insert, 1, 2),
+            ],
+            0,
+        ))
+        .unwrap();
+        tx.send(Msg::Stop { session_nanos: 777 }).unwrap();
+        // Post-stop straggler: dropped, must not reach the tap.
+        tx.send(Msg::Batch(
+            InstanceId(3),
+            vec![AccessEvent::at(3, AccessKind::Read, 0, 2)],
+            0,
+        ))
+        .unwrap();
+        drop(tx);
+        let (_, stats) = spawn(
+            rx,
+            Telemetry::disabled(),
+            Some(Box::new(RecordingTap(Arc::clone(&seen)))),
+        )
+        .join()
+        .unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.batches,
+            vec![(InstanceId(1), 1), (InstanceId(2), 2)],
+            "tap sees stored batches in arrival order, and only those"
+        );
+        let (tap_stats, nanos) = seen.stopped.expect("on_stop fired");
+        assert_eq!(nanos, 777);
+        assert_eq!(tap_stats, stats);
+        assert_eq!(stats.dropped, 1);
     }
 }

@@ -34,7 +34,7 @@ pub mod registry;
 pub mod session;
 
 pub use clock::SessionClock;
-pub use collector::{Capture, CollectorStats};
+pub use collector::{Capture, CollectorStats, CollectorTap};
 pub use persist::{
     load_capture, load_capture_with, read_capture, read_capture_with, save_capture,
     save_capture_with, write_capture, write_capture_with, PersistError, ReadOptions,

@@ -13,10 +13,10 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, Origin, Target};
-use dsspy_telemetry::Telemetry;
+use dsspy_telemetry::{Gauge, Telemetry};
 
 use crate::clock::{current_thread_tag, SessionClock};
-use crate::collector::{spawn, Capture, CollectorStats, Msg};
+use crate::collector::{spawn, Capture, CollectorStats, CollectorTap, Msg};
 use crate::registry::Registry;
 
 /// Tunables for a profiling session.
@@ -45,10 +45,17 @@ impl Default for SessionConfig {
 #[derive(Debug)]
 pub(crate) struct SessionInner {
     pub(crate) clock: SessionClock,
-    pub(crate) registry: Registry,
+    /// Shared with streaming consumers via [`Session::registry_handle`], so
+    /// a tap can resolve instance metadata while the session is still live.
+    pub(crate) registry: Arc<Registry>,
     /// Self-observation handle; [`Telemetry::disabled`] unless the session
     /// was started with [`Session::with_telemetry`].
     pub(crate) telemetry: Telemetry,
+    /// `collector.queue_depth`, resolved once so the producer-side sample in
+    /// [`InstanceHandle::flush`] costs no registry lookup.
+    queue_depth: Gauge,
+    /// `collector.queue_depth_peak`, ditto.
+    queue_peak: Gauge,
     closed: AtomicBool,
     dropped: AtomicU64,
 }
@@ -80,16 +87,41 @@ impl Session {
     /// (see the `dsspy-telemetry` crate). Passing [`Telemetry::disabled`]
     /// is exactly [`Session::with_config`].
     pub fn with_telemetry(config: SessionConfig, telemetry: Telemetry) -> Session {
+        Session::build(config, telemetry, None)
+    }
+
+    /// Start a session whose collector thread feeds every stored batch to
+    /// `tap` before folding it into the post-mortem capture — the
+    /// subscription point for live consumers like `dsspy-stream`'s
+    /// `StreamingAnalyzer`. The tap runs on the collector thread; see
+    /// [`CollectorTap`] for the exact delivery guarantees.
+    pub fn with_tap(
+        config: SessionConfig,
+        telemetry: Telemetry,
+        tap: Box<dyn CollectorTap>,
+    ) -> Session {
+        Session::build(config, telemetry, Some(tap))
+    }
+
+    fn build(
+        config: SessionConfig,
+        telemetry: Telemetry,
+        tap: Option<Box<dyn CollectorTap>>,
+    ) -> Session {
         let (tx, rx) = match config.channel_capacity {
             Some(n) => bounded(n),
             None => unbounded(),
         };
-        let join = spawn(rx, telemetry.clone());
+        let join = spawn(rx, telemetry.clone(), tap);
+        let queue_depth = telemetry.gauge("collector.queue_depth");
+        let queue_peak = telemetry.gauge("collector.queue_depth_peak");
         Session {
             inner: Arc::new(SessionInner {
                 clock: SessionClock::new(),
-                registry: Registry::new(),
+                registry: Arc::new(Registry::new()),
                 telemetry,
+                queue_depth,
+                queue_peak,
                 closed: AtomicBool::new(false),
                 dropped: AtomicU64::new(0),
             }),
@@ -102,6 +134,13 @@ impl Session {
     /// The telemetry handle this session reports into (disabled by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.inner.telemetry
+    }
+
+    /// A shared handle to the instance registry. Streaming consumers use it
+    /// to resolve [`dsspy_events::InstanceInfo`] for ids they see on the tap
+    /// while the session is still running.
+    pub fn registry_handle(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
     }
 
     /// Register a data-structure instance and obtain its recording handle.
@@ -163,7 +202,7 @@ impl Session {
     pub fn finish(self) -> Capture {
         self.inner.closed.store(true, Ordering::SeqCst);
         let session_nanos = self.inner.clock.nanos();
-        let _ = self.sender.send(Msg::Stop);
+        let _ = self.sender.send(Msg::Stop { session_nanos });
         drop(self.sender);
         let (map, mut stats) = self.join.join().expect("collector thread panicked");
         stats.dropped += self.inner.dropped.load(Ordering::Relaxed);
@@ -254,6 +293,14 @@ impl InstanceHandle {
                 .telemetry
                 .counter("collector.dropped")
                 .add(lost.len() as u64);
+        } else if self.inner.telemetry.is_enabled() {
+            // Producer-side pressure sample: depth as the *enqueuer* sees
+            // it, including the batch just shipped. A fast collector keeps
+            // the receipt-time sample near 0; this one reflects the bursts
+            // that streaming backpressure reacts to.
+            let depth = self.sender.len() as u64;
+            self.inner.queue_depth.set(depth);
+            self.inner.queue_peak.set_max(depth);
         }
     }
 

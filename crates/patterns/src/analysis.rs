@@ -8,9 +8,10 @@
 //! instances. [`analyze`] computes all of those aggregates once, in a single
 //! pass over the mined patterns and the raw events.
 
-use dsspy_events::{AccessClass, AccessKind, RuntimeProfile};
+use dsspy_events::{AccessKind, RuntimeProfile};
 use serde::{Deserialize, Serialize};
 
+use crate::incremental::{MetricsFold, PatternAggregates};
 use crate::kind::PatternKind;
 use crate::run::{mine_patterns, MinerConfig, PatternInstance};
 use crate::threads::{thread_profile, ThreadProfile};
@@ -120,186 +121,19 @@ pub fn analyze(profile: &RuntimeProfile, config: &MinerConfig) -> ProfileAnalysi
 pub const LONG_READ_COVERAGE: f64 = 0.5;
 
 fn compute_metrics(profile: &RuntimeProfile, patterns: &[PatternInstance]) -> Metrics {
-    let mut m = Metrics {
-        total_events: profile.len(),
-        duration_nanos: profile.duration_nanos(),
-        ..Metrics::default()
-    };
-
-    // --- raw event aggregates -------------------------------------------
-    let mut read_or_search = 0usize;
-    let mut positional = 0usize;
-    let mut front = 0usize;
-    let mut back = 0usize;
-    let mut insert_front = 0usize;
-    let mut insert_back = 0usize;
-    let mut delete_front = 0usize;
-    let mut delete_back = 0usize;
-    let mut last_mut_was_insert: Option<bool> = None;
-
+    // All per-event and per-pattern derivations live in the incremental
+    // folds (see `crate::incremental`); the batch pass just folds the whole
+    // profile in one sweep. The streaming analyzer folds the same state one
+    // event at a time, so both produce identical metrics by construction.
+    let mut fold = MetricsFold::default();
     for e in &profile.events {
-        m.by_kind[e.kind as usize] += 1;
-        match e.class() {
-            AccessClass::Read => m.reads += 1,
-            AccessClass::Write => m.writes += 1,
-        }
-        m.max_struct_len = m.max_struct_len.max(e.len);
-        if matches!(e.kind, AccessKind::Read | AccessKind::Search) {
-            read_or_search += 1;
-        }
-        match e.kind {
-            AccessKind::Insert => {
-                m.insert_ops += 1;
-                if last_mut_was_insert == Some(false) {
-                    m.insert_delete_alternations += 1;
-                }
-                last_mut_was_insert = Some(true);
-            }
-            AccessKind::Delete => {
-                m.delete_ops += 1;
-                if last_mut_was_insert == Some(true) {
-                    m.insert_delete_alternations += 1;
-                }
-                last_mut_was_insert = Some(false);
-            }
-            AccessKind::Resize => m.resize_ops += 1,
-            AccessKind::Sort => m.sort_ops += 1,
-            AccessKind::Search => m.search_ops += 1,
-            _ => {}
-        }
-        if e.kind.is_positional() {
-            if let Some(i) = e.index() {
-                positional += 1;
-                // "Front" is index 0. "Back" is the last position, whose
-                // encoding depends on the operation: appends have
-                // i == len - 1, back-deletes have i == len (post-shrink).
-                let at_front = i == 0;
-                let at_back = match e.kind {
-                    AccessKind::Delete => i == e.len,
-                    _ => e.len > 0 && i == e.len - 1,
-                };
-                if at_front {
-                    front += 1;
-                }
-                if at_back {
-                    back += 1;
-                }
-                match e.kind {
-                    AccessKind::Insert => {
-                        if at_front && !at_back {
-                            insert_front += 1;
-                        } else if at_back {
-                            insert_back += 1;
-                        }
-                    }
-                    AccessKind::Delete => {
-                        if at_front && !at_back {
-                            delete_front += 1;
-                        } else if at_back {
-                            delete_back += 1;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
+        fold.fold(e);
     }
-
-    if m.total_events > 0 {
-        m.read_or_search_share = read_or_search as f64 / m.total_events as f64;
-    }
-    if positional > 0 {
-        m.front_share = front as f64 / positional as f64;
-        m.back_share = back as f64 / positional as f64;
-    }
-
-    // Two-different-ends: growth concentrates on one end, shrink (or reads)
-    // on the other. Compare dominant insert end vs dominant delete end.
-    if m.insert_ops >= 1 && m.delete_ops >= 1 {
-        let ins_front_dominant = insert_front > insert_back;
-        let del_front_dominant = delete_front > delete_back;
-        let ins_decided = insert_front != insert_back;
-        let del_decided = delete_front != delete_back;
-        if ins_decided && del_decided {
-            m.two_ended = ins_front_dominant != del_front_dominant;
-            m.common_end = ins_front_dominant == del_front_dominant;
-        } else if !ins_decided && !del_decided && m.insert_ops + m.delete_ops > 0 {
-            // Degenerate single-element churn: treat as common end.
-            m.common_end = insert_front + delete_front > 0;
-        }
-        // Strictness for SI: *always* a common end means no stray
-        // middle/other-end mutations at all.
-        let stray_inserts = m.insert_ops - insert_front - insert_back;
-        let stray_deletes = m.delete_ops - delete_front - delete_back;
-        if stray_inserts > 0 || stray_deletes > 0 {
-            m.common_end = false;
-        }
-    }
-
-    // --- pattern-level aggregates ----------------------------------------
-    let mut insert_runtime: u64 = 0;
-    let mut insert_events: usize = 0;
-    let mut events_in_read_patterns: usize = 0;
-    let mut last_insert_end: Option<u64> = None;
+    let mut aggs = PatternAggregates::default();
     for p in patterns {
-        if p.kind.is_insert() {
-            m.insert_pattern_count += 1;
-            m.longest_insert_run = m.longest_insert_run.max(p.len);
-            insert_runtime += p.duration_nanos();
-            insert_events += p.len;
-            last_insert_end = Some(last_insert_end.map_or(p.last_seq, |s: u64| s.max(p.last_seq)));
-        }
-        if p.kind.is_read() {
-            m.read_pattern_count += 1;
-            events_in_read_patterns += p.len;
-            if p.coverage() >= LONG_READ_COVERAGE {
-                m.long_read_pattern_count += 1;
-            }
-        }
+        aggs.add(p);
     }
-    if m.total_events > 0 {
-        m.read_pattern_event_share = events_in_read_patterns as f64 / m.total_events as f64;
-    }
-    m.insert_phase_share = if m.duration_nanos > 0 {
-        (insert_runtime as f64 / m.duration_nanos as f64).min(1.0)
-    } else if m.total_events > 0 {
-        insert_events as f64 / m.total_events as f64
-    } else {
-        0.0
-    };
-
-    // Sort-After-Insert: a Sort event whose seq is after the end of some
-    // insertion pattern.
-    if m.sort_ops > 0 {
-        if let Some(ins_end) = patterns
-            .iter()
-            .filter(|p| p.kind.is_insert())
-            .map(|p| p.last_seq)
-            .min()
-        {
-            m.sorts_after_insert = profile
-                .events
-                .iter()
-                .filter(|e| e.kind == AccessKind::Sort && e.seq > ins_end)
-                .count();
-        }
-    }
-
-    // Write-Without-Read: count the trailing run of explicit element
-    // overwrites ("all entries might be set to NULL", §III-B). Deletes and
-    // whole-structure maintenance (Clear) are transparent — a structure
-    // drained or cleared at end of life is normal teardown, not WWR.
-    let mut trailing = 0usize;
-    for e in profile.events.iter().rev() {
-        match e.kind {
-            AccessKind::Write => trailing += 1,
-            AccessKind::Clear | AccessKind::Delete => continue, // transparent
-            _ => break,
-        }
-    }
-    m.trailing_unread_writes = trailing;
-
-    m
+    fold.finish(&aggs)
 }
 
 impl Metrics {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod incremental;
 pub mod kind;
 pub mod phases;
 pub mod regularity;
@@ -31,6 +32,9 @@ pub mod stats;
 pub mod threads;
 
 pub use analysis::{analyze, Metrics, ProfileAnalysis};
+pub use incremental::{
+    IncrementalAnalyzer, MetricsFold, PatternAggregates, ThreadFold, ThreadMiner,
+};
 pub use kind::PatternKind;
 pub use phases::{
     detect_cycle, lifecycle, segment_phases, Cycle, Lifecycle, Phase, PhaseConfig, PhaseKind,

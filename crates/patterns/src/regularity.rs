@@ -50,21 +50,16 @@ impl RegularityVerdict {
 }
 
 /// Apply the regularity gate to an analyzed profile.
+///
+/// Folds the pattern list into [`crate::incremental::PatternAggregates`]
+/// and gates on the per-kind counts/longest-run aggregates — the same state
+/// the streaming analyzer maintains per emitted pattern.
 pub fn regularity(analysis: &ProfileAnalysis, config: &RegularityConfig) -> RegularityVerdict {
-    let mut kinds = Vec::new();
-    for kind in PatternKind::ALL {
-        let instances: Vec<_> = analysis.of_kind(kind).collect();
-        let recurring = instances.len() >= config.min_recurrences;
-        let single_long = instances.iter().any(|p| p.len >= config.min_single_run);
-        if recurring || single_long {
-            kinds.push(kind);
-        }
+    let mut aggs = crate::incremental::PatternAggregates::default();
+    for p in &analysis.patterns {
+        aggs.add(p);
     }
-    if kinds.is_empty() {
-        RegularityVerdict::Irregular
-    } else {
-        RegularityVerdict::Regular(kinds)
-    }
+    aggs.regularity(config)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! cleared-and-refilled list show *repeated* Insert-Back phases instead of
 //! one long one.
 
-use dsspy_events::{AccessEvent, AccessKind, RuntimeProfile, ThreadTag};
+use dsspy_events::{AccessEvent, RuntimeProfile, ThreadTag};
 use serde::{Deserialize, Serialize};
 
 use crate::kind::PatternKind;
@@ -73,114 +73,15 @@ impl PatternInstance {
     }
 }
 
-/// Internal: which track an event belongs to.
-fn track_of(kind: AccessKind) -> Option<usize> {
-    match kind {
-        AccessKind::Read => Some(0),
-        AccessKind::Write => Some(1),
-        AccessKind::Insert => Some(2),
-        AccessKind::Delete => Some(3),
-        _ => None,
-    }
-}
-
-/// Direction state of a read/write run.
-#[derive(Clone, Copy, PartialEq)]
-enum Dir {
-    Unknown,
-    Forward,
-    Backward,
-}
-
-/// Accumulator for one in-progress run.
-struct RunAcc {
-    events: Vec<AccessEvent>,
-    dir: Dir,
-    // For insert/delete tracks: which end-classifications are still viable.
-    front_ok: bool,
-    back_ok: bool,
-}
-
-impl RunAcc {
-    fn new() -> RunAcc {
-        RunAcc {
-            events: Vec::new(),
-            dir: Dir::Unknown,
-            front_ok: true,
-            back_ok: true,
-        }
-    }
-
-    fn emit(
-        &mut self,
-        kind_for: impl Fn(&RunAcc) -> Option<PatternKind>,
-        min_len: usize,
-        out: &mut Vec<PatternInstance>,
-        thread: ThreadTag,
-    ) {
-        if self.events.len() >= min_len {
-            if let Some(kind) = kind_for(self) {
-                let first = self.events[0];
-                let last = *self.events.last().expect("non-empty run");
-                let mut lo = u32::MAX;
-                let mut hi = 0;
-                let mut max_len = 0;
-                for e in &self.events {
-                    if let Some(i) = e.index() {
-                        lo = lo.min(i);
-                        hi = hi.max(i);
-                    }
-                    max_len = max_len.max(e.len);
-                }
-                out.push(PatternInstance {
-                    kind,
-                    thread,
-                    first_seq: first.seq,
-                    last_seq: last.seq,
-                    first_nanos: first.nanos,
-                    last_nanos: last.nanos,
-                    len: self.events.len(),
-                    lo: if lo == u32::MAX { 0 } else { lo },
-                    hi,
-                    max_struct_len: max_len,
-                });
-            }
-        }
-        self.events.clear();
-        self.dir = Dir::Unknown;
-        self.front_ok = true;
-        self.back_ok = true;
-    }
-}
-
-/// Whether an insert event landed at the front of the structure.
-fn insert_at_front(e: &AccessEvent) -> bool {
-    e.index() == Some(0)
-}
-
-/// Whether an insert event was appended at the back. At insert time `len`
-/// is the *new* length, so an append has `index == len - 1`.
-fn insert_at_back(e: &AccessEvent) -> bool {
-    match e.index() {
-        Some(i) => e.len > 0 && i == e.len - 1,
-        None => false,
-    }
-}
-
-/// Whether a delete event removed the front element.
-fn delete_at_front(e: &AccessEvent) -> bool {
-    e.index() == Some(0)
-}
-
-/// Whether a delete event removed the back element. At delete time `len` is
-/// the *new* (shrunk) length, so a back-removal has `index == len`.
-fn delete_at_back(e: &AccessEvent) -> bool {
-    e.index() == Some(e.len)
-}
-
 /// Mine all pattern instances from one profile.
 ///
 /// Returns instances ordered by `first_seq`.
+///
+/// The run state machine itself lives in [`crate::incremental::ThreadMiner`]
+/// — this batch entry point drives one miner per thread over the complete
+/// per-thread slices, while the streaming analyzer drives the same machine
+/// one event at a time. Both paths produce identical instances because they
+/// *are* the same code.
 pub fn mine_patterns(profile: &RuntimeProfile, config: &MinerConfig) -> Vec<PatternInstance> {
     let mut out = Vec::new();
     let min_len = config.min_run_len.max(2);
@@ -198,170 +99,18 @@ fn mine_thread(
     min_len: usize,
     out: &mut Vec<PatternInstance>,
 ) {
-    // One accumulator per track: read, write, insert, delete.
-    let mut accs = [RunAcc::new(), RunAcc::new(), RunAcc::new(), RunAcc::new()];
-
-    let classify_rw = |track: usize| {
-        move |acc: &RunAcc| -> Option<PatternKind> {
-            match (track, acc.dir) {
-                (0, Dir::Forward) => Some(PatternKind::ReadForward),
-                (0, Dir::Backward) => Some(PatternKind::ReadBackward),
-                (1, Dir::Forward) => Some(PatternKind::WriteForward),
-                (1, Dir::Backward) => Some(PatternKind::WriteBackward),
-                _ => None,
-            }
-        }
-    };
-    let classify_ins = |acc: &RunAcc| -> Option<PatternKind> {
-        // Prefer the back classification: appending is by far the common
-        // case, and a run of appends to an initially empty list satisfies
-        // both predicates on its first event.
-        if acc.back_ok {
-            Some(PatternKind::InsertBack)
-        } else if acc.front_ok {
-            Some(PatternKind::InsertFront)
-        } else {
-            None
-        }
-    };
-    let classify_del = |acc: &RunAcc| -> Option<PatternKind> {
-        if acc.back_ok {
-            Some(PatternKind::DeleteBack)
-        } else if acc.front_ok {
-            Some(PatternKind::DeleteFront)
-        } else {
-            None
-        }
-    };
-
+    let mut miner = crate::incremental::ThreadMiner::new(thread);
+    let mut sink = |p: PatternInstance| out.push(p);
     for e in events {
-        let Some(track) = track_of(e.kind) else {
-            continue; // compound events live outside the positional tracks
-        };
-        let Some(idx) = e.index() else {
-            // Positional kind without an index (shouldn't happen from our
-            // wrappers, but profiles may come from elsewhere): break the run.
-            match track {
-                0 | 1 => accs[track].emit(classify_rw(track), min_len, out, thread),
-                2 => accs[track].emit(classify_ins, min_len, out, thread),
-                _ => accs[track].emit(classify_del, min_len, out, thread),
-            }
-            continue;
-        };
-
-        match track {
-            0 | 1 => {
-                // Read/Write tracks: adjacent monotone indices.
-                let acc = &mut accs[track];
-                let extend = match acc.events.last().and_then(|p| p.index()) {
-                    None => true,
-                    Some(prev) => match acc.dir {
-                        Dir::Unknown => idx == prev + 1 || (prev > 0 && idx == prev - 1),
-                        Dir::Forward => idx == prev + 1,
-                        Dir::Backward => prev > 0 && idx == prev - 1,
-                    },
-                };
-                if !extend {
-                    let seed = *acc.events.last().expect("break implies prior event");
-                    acc.emit(classify_rw(track), min_len, out, thread);
-                    // The event that broke the run may still chain with its
-                    // immediate predecessor (e.g. 0,1,2,1,0: "1" breaks the
-                    // forward run but seeds a backward one with "2"... no —
-                    // runs must not share events, so we only seed with the
-                    // breaker's predecessor when directions allow).
-                    let _ = seed; // runs are disjoint; start fresh instead
-                }
-                let acc = &mut accs[track];
-                if let Some(prev) = acc.events.last().and_then(|p| p.index()) {
-                    if acc.dir == Dir::Unknown {
-                        acc.dir = if idx == prev + 1 {
-                            Dir::Forward
-                        } else {
-                            Dir::Backward
-                        };
-                    }
-                }
-                acc.events.push(*e);
-            }
-            2 => {
-                let front = insert_at_front(e);
-                let back = insert_at_back(e);
-                let acc = &mut accs[2];
-                let new_front = acc.front_ok && front;
-                let new_back = acc.back_ok && back;
-                let compatible = (new_front || new_back) && (front || back);
-                // Additionally, a back-run must be *contiguous*: each append
-                // lands one past the previous one. A Clear between appends
-                // resets the index to 0, which (by front/back flags alone)
-                // could still look front-compatible; require monotone growth
-                // for back runs so refill phases separate.
-                let contiguous = match acc.events.last().and_then(|p| p.index()) {
-                    // Front inserts always land at 0, so only back runs are
-                    // constrained.
-                    Some(prev) if new_back => idx == prev + 1,
-                    _ => true,
-                };
-                if acc.events.is_empty() {
-                    if front || back {
-                        acc.front_ok = front;
-                        acc.back_ok = back;
-                        acc.events.push(*e);
-                    }
-                    // Middle inserts never start a run.
-                } else if compatible && contiguous {
-                    acc.front_ok = new_front;
-                    acc.back_ok = new_back;
-                    acc.events.push(*e);
-                } else {
-                    acc.emit(classify_ins, min_len, out, thread);
-                    let acc = &mut accs[2];
-                    if front || back {
-                        acc.front_ok = front;
-                        acc.back_ok = back;
-                        acc.events.push(*e);
-                    }
-                }
-            }
-            _ => {
-                let front = delete_at_front(e);
-                let back = delete_at_back(e);
-                let acc = &mut accs[3];
-                let new_front = acc.front_ok && front;
-                let new_back = acc.back_ok && back;
-                if acc.events.is_empty() {
-                    if front || back {
-                        acc.front_ok = front;
-                        acc.back_ok = back;
-                        acc.events.push(*e);
-                    }
-                } else if new_front || new_back {
-                    acc.front_ok = new_front;
-                    acc.back_ok = new_back;
-                    acc.events.push(*e);
-                } else {
-                    acc.emit(classify_del, min_len, out, thread);
-                    let acc = &mut accs[3];
-                    if front || back {
-                        acc.front_ok = front;
-                        acc.back_ok = back;
-                        acc.events.push(*e);
-                    }
-                }
-            }
-        }
+        miner.push(e, min_len, &mut sink);
     }
-
-    // Flush all tracks.
-    accs[0].emit(classify_rw(0), min_len, out, thread);
-    accs[1].emit(classify_rw(1), min_len, out, thread);
-    accs[2].emit(classify_ins, min_len, out, thread);
-    accs[3].emit(classify_del, min_len, out, thread);
+    miner.flush(min_len, &mut sink);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsspy_events::{AllocationSite, DsKind, InstanceId, InstanceInfo, Target};
+    use dsspy_events::{AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo, Target};
 
     fn profile(events: Vec<AccessEvent>) -> RuntimeProfile {
         RuntimeProfile::new(

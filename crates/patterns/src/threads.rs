@@ -9,8 +9,6 @@
 //! "parallelize the insert" for a structure that several threads already
 //! hammer concurrently would be advice the engineer has already taken.
 
-use std::collections::HashMap;
-
 use dsspy_events::{RuntimeProfile, ThreadTag};
 use serde::{Deserialize, Serialize};
 
@@ -43,32 +41,15 @@ impl ThreadProfile {
 }
 
 /// Compute the thread profile of one runtime profile.
+///
+/// Folds the whole profile through [`crate::incremental::ThreadFold`] — the
+/// same state the streaming analyzer maintains event by event.
 pub fn thread_profile(profile: &RuntimeProfile) -> ThreadProfile {
-    let mut per_thread: HashMap<ThreadTag, usize> = HashMap::new();
-    let mut switches = 0usize;
-    let mut prev: Option<ThreadTag> = None;
+    let mut fold = crate::incremental::ThreadFold::default();
     for e in &profile.events {
-        *per_thread.entry(e.thread).or_default() += 1;
-        if let Some(p) = prev {
-            if p != e.thread {
-                switches += 1;
-            }
-        }
-        prev = Some(e.thread);
+        fold.fold(e);
     }
-    let mut events_per_thread: Vec<(ThreadTag, usize)> = per_thread.into_iter().collect();
-    events_per_thread.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let total: usize = events_per_thread.iter().map(|(_, n)| n).sum();
-    let dominant_share = events_per_thread
-        .first()
-        .map(|(_, n)| *n as f64 / total.max(1) as f64)
-        .unwrap_or(0.0);
-    ThreadProfile {
-        thread_count: events_per_thread.len(),
-        events_per_thread,
-        switches,
-        dominant_share,
-    }
+    fold.snapshot()
 }
 
 #[cfg(test)]

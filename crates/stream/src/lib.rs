@@ -1,0 +1,809 @@
+//! # dsspy-stream — in-flight (streaming) analysis
+//!
+//! The paper's pipeline (Fig. 4) is strictly post-mortem: profiles are
+//! collected during execution and analyzed afterwards. This crate closes the
+//! loop *while the program is still running*: a [`StreamingAnalyzer`]
+//! subscribes to the collector thread's batch path through the
+//! [`CollectorTap`] API and folds every batch into per-instance incremental
+//! mining state ([`dsspy_patterns::IncrementalAnalyzer`] +
+//! [`dsspy_usecases::AdvisoryFold`]) instead of re-scanning history.
+//!
+//! Because the post-mortem passes themselves delegate to the very same folds
+//! (`mine_patterns`, `compute_metrics`, `thread_profile`, `regularity` and
+//! `advisories` are all thin wrappers over the incremental state machines),
+//! the streaming classification of a drained session is **equal by
+//! construction** to [`dsspy_core::Dsspy::analyze_capture`] — the convergence
+//! property the proptests in this crate and the `streaming_end_to_end`
+//! integration suite pin down byte-for-byte.
+//!
+//! Memory is bounded:
+//!
+//! * analysis state is a constant-size fold per `(instance, thread, track)`
+//!   plus the finalized pattern list, which [`StreamConfig::max_retained_patterns`]
+//!   can cap (aggregate metrics stay exact even when the list is truncated);
+//! * raw events are retained only in a per-instance display window of at most
+//!   [`StreamConfig::window_events`] events, evicted FIFO.
+//!
+//! Snapshot cadence applies backpressure: the collector's queue depth (the
+//! same signal the `collector.queue_depth` gauge reports) stretches the
+//! interval between [`Report`] snapshots by powers of two
+//! ([`SnapshotPolicy`]), so a flooded collector spends its cycles storing
+//! events, not re-classifying them.
+//!
+//! All stream internals report into `dsspy-telemetry` under the `stream.*`
+//! namespace: `stream.events/batches/snapshots/evicted/out_of_order`
+//! counters, `stream.fold_nanos`/`stream.snapshot_nanos` histograms, and
+//! `stream.window_events/window_peak/instances/snapshot_interval` gauges.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dsspy_collect::{Capture, CollectorStats, CollectorTap, Registry, Session};
+use dsspy_core::{AnalysisTimings, Dsspy, InstanceReport, Report};
+use dsspy_events::{AccessEvent, InstanceId, InstanceInfo, Origin};
+use dsspy_patterns::IncrementalAnalyzer;
+use dsspy_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use dsspy_usecases::{classify, AdvisoryFold};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// When the streaming analyzer re-classifies and publishes a snapshot.
+///
+/// Cadence is measured in *batches folded*, not wall clock, so replays and
+/// live sessions behave identically and tests are deterministic. The
+/// collector's queue depth — sampled at batch receipt, the same signal as
+/// the `collector.queue_depth` gauge — stretches the interval: every
+/// `backoff_queue_depth` queued messages doubles it, up to
+/// `max_backoff_shifts` doublings. An idle collector snapshots every
+/// `every_batches` batches; a flooded one backs off to
+/// `every_batches << max_backoff_shifts`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SnapshotPolicy {
+    /// Base interval: publish a snapshot every this many folded batches.
+    pub every_batches: u64,
+    /// Queue depth per doubling of the interval; `0` disables backoff.
+    pub backoff_queue_depth: usize,
+    /// Cap on the number of doublings.
+    pub max_backoff_shifts: u32,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy {
+            every_batches: 8,
+            backoff_queue_depth: 64,
+            max_backoff_shifts: 4,
+        }
+    }
+}
+
+impl SnapshotPolicy {
+    /// The snapshot interval in batches at the given collector queue depth.
+    pub fn effective_interval(&self, queue_depth: usize) -> u64 {
+        let every = self.every_batches.max(1);
+        if self.backoff_queue_depth == 0 {
+            return every;
+        }
+        let shifts = ((queue_depth / self.backoff_queue_depth) as u32).min(self.max_backoff_shifts);
+        every.checked_shl(shifts).unwrap_or(u64::MAX)
+    }
+}
+
+/// Tunables of the streaming analyzer's memory/cadence behavior.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Per-instance cap on *retained raw events* (the display window shown
+    /// by `dsspy watch`). Analysis state is folded, so eviction never
+    /// changes classifications; `0` retains nothing.
+    pub window_events: usize,
+    /// Cap on finalized pattern instances each analyzer keeps (`0` =
+    /// unlimited). Aggregate counts, metrics, regularity and classifications
+    /// stay exact when the list is truncated; only the pattern *listing* in
+    /// snapshots shortens. Leave at `0` when byte-for-byte convergence with
+    /// post-mortem reports matters.
+    pub max_retained_patterns: usize,
+    /// Snapshot cadence and backpressure.
+    pub snapshots: SnapshotPolicy,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window_events: 1024,
+            max_retained_patterns: 0,
+            snapshots: SnapshotPolicy::default(),
+        }
+    }
+}
+
+/// Progress counters of one streaming analyzer, for status lines and tests.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Events folded so far.
+    pub events: u64,
+    /// Batches folded so far.
+    pub batches: u64,
+    /// Report snapshots published so far.
+    pub snapshots: u64,
+    /// Raw events evicted from display windows.
+    pub evicted: u64,
+    /// Events that arrived out of sequence order (folded anyway; counted).
+    pub out_of_order: u64,
+    /// Instances with live mining state.
+    pub instances: usize,
+    /// Raw events currently retained across all display windows.
+    pub window_events: usize,
+    /// Peak of `window_events` over the session.
+    pub window_peak: usize,
+    /// The snapshot interval currently in effect (after backoff).
+    pub current_interval: u64,
+}
+
+/// `stream.*` instruments, resolved once so the fold path does no registry
+/// lookups.
+struct Instruments {
+    events: Counter,
+    batches: Counter,
+    snapshots: Counter,
+    evicted: Counter,
+    out_of_order: Counter,
+    fold_nanos: Histogram,
+    snapshot_nanos: Histogram,
+    window_events: Gauge,
+    window_peak: Gauge,
+    instances: Gauge,
+    snapshot_interval: Gauge,
+}
+
+impl Instruments {
+    fn new(telemetry: &Telemetry) -> Instruments {
+        Instruments {
+            events: telemetry.counter("stream.events"),
+            batches: telemetry.counter("stream.batches"),
+            snapshots: telemetry.counter("stream.snapshots"),
+            evicted: telemetry.counter("stream.evicted"),
+            out_of_order: telemetry.counter("stream.out_of_order"),
+            fold_nanos: telemetry.histogram("stream.fold_nanos"),
+            snapshot_nanos: telemetry.histogram("stream.snapshot_nanos"),
+            window_events: telemetry.gauge("stream.window_events"),
+            window_peak: telemetry.gauge("stream.window_peak"),
+            instances: telemetry.gauge("stream.instances"),
+            snapshot_interval: telemetry.gauge("stream.snapshot_interval"),
+        }
+    }
+}
+
+/// Live mining state of one instance.
+struct InstanceState {
+    analyzer: IncrementalAnalyzer,
+    advisory: AdvisoryFold,
+    window: VecDeque<AccessEvent>,
+    evicted: u64,
+    /// Last observed `analyzer.out_of_order()`, for delta accounting.
+    seen_out_of_order: u64,
+}
+
+impl InstanceState {
+    fn new(dsspy: &Dsspy, config: &StreamConfig) -> InstanceState {
+        InstanceState {
+            analyzer: IncrementalAnalyzer::new(&dsspy.analysis.miner)
+                .with_pattern_cap(config.max_retained_patterns),
+            advisory: AdvisoryFold::default(),
+            window: VecDeque::new(),
+            evicted: 0,
+            seen_out_of_order: 0,
+        }
+    }
+}
+
+/// Everything behind the mutex: fold state, cadence bookkeeping, and the
+/// latest published report.
+struct Shared {
+    dsspy: Dsspy,
+    config: StreamConfig,
+    telemetry: Telemetry,
+    ins: Instruments,
+    /// Session mode: the live session's registry, for instance metadata.
+    registry: Option<Arc<Registry>>,
+    /// Replay mode: instances registered by hand, in registration order.
+    local: Vec<InstanceInfo>,
+    states: HashMap<InstanceId, InstanceState>,
+    batches: u64,
+    batches_since_snapshot: u64,
+    snapshots: u64,
+    events_total: u64,
+    window_total: usize,
+    window_peak: usize,
+    current_interval: u64,
+    /// Collector stats as of `on_stop`; synthesized from fold counters for
+    /// mid-session snapshots.
+    final_stats: Option<CollectorStats>,
+    session_nanos: u64,
+    latest: Option<Arc<Report>>,
+}
+
+impl Shared {
+    fn new(dsspy: Dsspy, config: StreamConfig, telemetry: Telemetry) -> Shared {
+        let ins = Instruments::new(&telemetry);
+        let current_interval = config.snapshots.effective_interval(0);
+        Shared {
+            dsspy,
+            config,
+            telemetry,
+            ins,
+            registry: None,
+            local: Vec::new(),
+            states: HashMap::new(),
+            batches: 0,
+            batches_since_snapshot: 0,
+            snapshots: 0,
+            events_total: 0,
+            window_total: 0,
+            window_peak: 0,
+            current_interval,
+            final_stats: None,
+            session_nanos: 0,
+            latest: None,
+        }
+    }
+
+    fn fold_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+        let started = self.telemetry.now_nanos();
+        let state = match self.states.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(InstanceState::new(&self.dsspy, &self.config))
+            }
+        };
+        for e in events {
+            state.analyzer.fold(e);
+            state.advisory.fold(e);
+            state.window.push_back(*e);
+        }
+        let mut evicted_now = 0u64;
+        while state.window.len() > self.config.window_events {
+            state.window.pop_front();
+            evicted_now += 1;
+        }
+        state.evicted += evicted_now;
+        let ooo = state.analyzer.out_of_order();
+        let ooo_delta = ooo - state.seen_out_of_order;
+        state.seen_out_of_order = ooo;
+
+        self.events_total += events.len() as u64;
+        self.batches += 1;
+        self.batches_since_snapshot += 1;
+        self.window_total = self.window_total + events.len() - evicted_now as usize;
+        self.window_peak = self.window_peak.max(self.window_total);
+
+        self.ins.events.add(events.len() as u64);
+        self.ins.batches.inc();
+        if evicted_now > 0 {
+            self.ins.evicted.add(evicted_now);
+        }
+        if ooo_delta > 0 {
+            self.ins.out_of_order.add(ooo_delta);
+        }
+        self.ins.window_events.set(self.window_total as u64);
+        self.ins.window_peak.set_max(self.window_total as u64);
+        self.ins.instances.set(self.states.len() as u64);
+        self.ins
+            .fold_nanos
+            .record(self.telemetry.now_nanos().saturating_sub(started));
+
+        self.current_interval = self.config.snapshots.effective_interval(queue_depth);
+        self.ins.snapshot_interval.set(self.current_interval);
+        if self.batches_since_snapshot >= self.current_interval {
+            self.publish_snapshot();
+        }
+    }
+
+    fn finish(&mut self, stats: &CollectorStats, session_nanos: u64) {
+        self.final_stats = Some(*stats);
+        self.session_nanos = session_nanos;
+        self.publish_snapshot();
+    }
+
+    fn publish_snapshot(&mut self) {
+        let started = self.telemetry.now_nanos();
+        let report = self.build_report();
+        self.latest = Some(Arc::new(report));
+        self.snapshots += 1;
+        self.batches_since_snapshot = 0;
+        self.ins.snapshots.inc();
+        self.ins
+            .snapshot_nanos
+            .record(self.telemetry.now_nanos().saturating_sub(started));
+    }
+
+    /// Classify everything folded so far, mirroring
+    /// [`Dsspy::analyze_capture`]'s per-instance sequence exactly:
+    /// registration order, the selective-origin filter, then
+    /// mine → regularity gate → classify → advisories per instance.
+    fn build_report(&self) -> Report {
+        let analysis = &self.dsspy.analysis;
+        let infos: Vec<InstanceInfo> = match &self.registry {
+            Some(r) => r.snapshot(),
+            None => self.local.clone(),
+        };
+        let mut instances = Vec::new();
+        for info in infos
+            .iter()
+            .filter(|i| !analysis.selective || i.origin == Origin::Manual)
+        {
+            let (profile_analysis, verdict, events, advisories) =
+                if let Some(state) = self.states.get(&info.id) {
+                    let (a, v) = state.analyzer.snapshot(&analysis.regularity);
+                    let advs = state
+                        .advisory
+                        .finish(info.kind.is_linear(), &analysis.advisories);
+                    (a, v, state.analyzer.event_count(), advs)
+                } else {
+                    // Registered but never touched: identical to analyzing
+                    // an empty profile.
+                    let (a, v) =
+                        IncrementalAnalyzer::new(&analysis.miner).snapshot(&analysis.regularity);
+                    (a, v, 0, Vec::new())
+                };
+            let use_cases = classify(info, &profile_analysis, &analysis.thresholds);
+            instances.push(InstanceReport {
+                instance: info.clone(),
+                events,
+                analysis: profile_analysis,
+                regularity: verdict,
+                use_cases,
+                advisories,
+            });
+        }
+        let stats = self.final_stats.unwrap_or(CollectorStats {
+            events: self.events_total,
+            batches: self.batches,
+            dropped: 0,
+        });
+        Report {
+            instances,
+            stats,
+            session_nanos: self.session_nanos,
+            timings: AnalysisTimings::default(),
+            telemetry: None,
+        }
+    }
+
+    fn stats(&self) -> StreamStats {
+        StreamStats {
+            events: self.events_total,
+            batches: self.batches,
+            snapshots: self.snapshots,
+            evicted: self.states.values().map(|s| s.evicted).sum(),
+            out_of_order: self.states.values().map(|s| s.seen_out_of_order).sum(),
+            instances: self.states.len(),
+            window_events: self.window_total,
+            window_peak: self.window_peak,
+            current_interval: self.current_interval,
+        }
+    }
+}
+
+/// The [`CollectorTap`] half: lives on the collector thread, forwards every
+/// stored batch into the shared fold state.
+struct StreamTap {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl CollectorTap for StreamTap {
+    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+        self.shared.lock().fold_batch(id, events, queue_depth);
+    }
+
+    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+        self.shared.lock().finish(stats, session_nanos);
+    }
+}
+
+/// Streaming analysis of a profiling session while it runs.
+///
+/// Two modes share one implementation:
+///
+/// * **Session mode** — [`StreamingAnalyzer::attach`] (or
+///   [`StreamingAnalyzer::tap`] + [`Session::with_tap`] +
+///   [`StreamingAnalyzer::bind_registry`]) subscribes to a live session's
+///   collector thread.
+/// * **Replay mode** — [`StreamingAnalyzer::replay_capture`] (or
+///   [`StreamingAnalyzer::register_instance`] +
+///   [`StreamingAnalyzer::fold_batch`]) streams an existing capture through
+///   the same fold path, batch by batch; `dsspy watch` uses this to replay
+///   saved captures as if they were live.
+///
+/// Cloning is cheap and shares state — clone it before handing the tap to a
+/// session and keep querying [`StreamingAnalyzer::latest_report`] from the
+/// driving thread.
+#[derive(Clone)]
+pub struct StreamingAnalyzer {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl StreamingAnalyzer {
+    /// A streaming analyzer with the given pipeline + stream configuration,
+    /// without self-observation.
+    pub fn new(dsspy: Dsspy, config: StreamConfig) -> StreamingAnalyzer {
+        StreamingAnalyzer::with_telemetry(dsspy, config, Telemetry::disabled())
+    }
+
+    /// A streaming analyzer that reports its internals (`stream.*` counters,
+    /// histograms, gauges) into `telemetry`.
+    pub fn with_telemetry(
+        dsspy: Dsspy,
+        config: StreamConfig,
+        telemetry: Telemetry,
+    ) -> StreamingAnalyzer {
+        StreamingAnalyzer {
+            shared: Arc::new(Mutex::new(Shared::new(dsspy, config, telemetry))),
+        }
+    }
+
+    /// The collector-thread subscription. Hand this to
+    /// [`Session::with_tap`]; call [`StreamingAnalyzer::bind_registry`] with
+    /// the session's [`Session::registry_handle`] so snapshots can resolve
+    /// instance metadata.
+    pub fn tap(&self) -> Box<dyn CollectorTap> {
+        Box::new(StreamTap {
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Use `registry` as the source of instance metadata (session mode).
+    pub fn bind_registry(&self, registry: Arc<Registry>) {
+        self.shared.lock().registry = Some(registry);
+    }
+
+    /// Start a session wired to this analyzer: the collector feeds the tap,
+    /// and the session's registry backs snapshot metadata. The session's
+    /// collector reports into the same `telemetry` handle the analyzer was
+    /// built with.
+    pub fn attach(&self) -> Session {
+        let telemetry = self.shared.lock().telemetry.clone();
+        let session_config = self.shared.lock().dsspy.session;
+        let session = Session::with_tap(session_config, telemetry, self.tap());
+        self.bind_registry(session.registry_handle());
+        session
+    }
+
+    /// Replay mode: declare an instance (registration order is report
+    /// order, as in a live registry).
+    pub fn register_instance(&self, info: InstanceInfo) {
+        self.shared.lock().local.push(info);
+    }
+
+    /// Replay mode: fold one batch of events for `id`, exactly as the tap
+    /// would on the collector thread. `queue_depth` feeds the snapshot
+    /// backpressure policy (use `0` when replaying from disk).
+    pub fn fold_batch(&self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+        self.shared.lock().fold_batch(id, events, queue_depth);
+    }
+
+    /// Stream a whole capture through the fold path in `batch_size`-event
+    /// batches and finish with the capture's own stats, so the final
+    /// [`StreamingAnalyzer::report`] is byte-for-byte comparable to
+    /// [`Dsspy::analyze_capture`] on the same capture.
+    pub fn replay_capture(&self, capture: &Capture, batch_size: usize) {
+        let batch_size = batch_size.max(1);
+        for profile in &capture.profiles {
+            self.register_instance(profile.instance.clone());
+        }
+        for profile in &capture.profiles {
+            for chunk in profile.events.chunks(batch_size) {
+                self.fold_batch(profile.instance.id, chunk, 0);
+            }
+        }
+        self.finish_replay(&capture.stats, capture.session_nanos);
+    }
+
+    /// Replay mode: end the stream with the drained session's collector
+    /// stats and duration, publishing the final snapshot — what the tap's
+    /// `on_stop` does in session mode. Call after the last
+    /// [`StreamingAnalyzer::fold_batch`].
+    pub fn finish_replay(&self, stats: &CollectorStats, session_nanos: u64) {
+        self.shared.lock().finish(stats, session_nanos);
+    }
+
+    /// The most recently published snapshot, if any batch interval or the
+    /// session end has elapsed. Cheap: returns a shared handle, no
+    /// re-classification.
+    pub fn latest_report(&self) -> Option<Arc<Report>> {
+        self.shared.lock().latest.clone()
+    }
+
+    /// Classify everything folded so far, right now (ignores cadence).
+    pub fn report(&self) -> Report {
+        self.shared.lock().build_report()
+    }
+
+    /// Progress counters for status lines.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.lock().stats()
+    }
+}
+
+impl std::fmt::Debug for StreamingAnalyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.shared.lock();
+        f.debug_struct("StreamingAnalyzer")
+            .field("batches", &s.batches)
+            .field("events", &s.events_total)
+            .field("instances", &s.states.len())
+            .field("snapshots", &s.snapshots)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_collect::SessionConfig;
+    use dsspy_collections::{site, SpyQueue, SpyVec};
+
+    fn run_workload(session: &Session) {
+        let mut hot = SpyVec::register(session, site!("hot_fill"));
+        for i in 0..800 {
+            hot.add(i);
+        }
+        for i in 0..800 {
+            let _ = *hot.get(i);
+        }
+        let mut q = SpyQueue::register(session, site!("queue_churn"));
+        for i in 0..300 {
+            q.enqueue(i);
+            if q.len() > 4 {
+                q.dequeue();
+            }
+        }
+        let _idle: SpyVec<u8> = SpyVec::register(session, site!("idle"));
+    }
+
+    fn instances_json(r: &Report) -> String {
+        serde_json::to_string(&r.instances).expect("serialize")
+    }
+
+    #[test]
+    fn live_session_converges_to_post_mortem() {
+        let dsspy = Dsspy::new().with_threads(1);
+        let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+        let session = streaming.attach();
+        run_workload(&session);
+        let capture = session.finish();
+        let live = streaming
+            .latest_report()
+            .expect("on_stop publishes a final snapshot");
+        let post = dsspy.analyze_capture(&capture);
+        assert_eq!(instances_json(&live), instances_json(&post));
+        assert_eq!(live.stats, post.stats);
+        assert_eq!(live.session_nanos, post.session_nanos);
+    }
+
+    #[test]
+    fn replay_matches_analyze_capture_byte_for_byte() {
+        let dsspy = Dsspy::new().with_threads(1);
+        let session = Session::new();
+        run_workload(&session);
+        let capture = session.finish();
+
+        for batch in [1usize, 7, 100, 100_000] {
+            let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+            streaming.replay_capture(&capture, batch);
+            let live = streaming.latest_report().expect("final snapshot");
+            let post = dsspy.analyze_capture(&capture);
+            let live_json = serde_json::to_string(&*live).expect("serialize");
+            let post_json = serde_json::to_string(&post).expect("serialize");
+            assert_eq!(live_json, post_json, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    fn window_eviction_bounds_memory_without_changing_results() {
+        let dsspy = Dsspy::new().with_threads(1);
+        let session = Session::new();
+        run_workload(&session);
+        let capture = session.finish();
+
+        let tight = StreamConfig {
+            window_events: 16,
+            ..StreamConfig::default()
+        };
+        let streaming = StreamingAnalyzer::new(dsspy, tight);
+        streaming.replay_capture(&capture, 64);
+        let stats = streaming.stats();
+        assert!(stats.window_peak <= 16 * capture.instance_count());
+        assert!(stats.evicted > 0, "{stats:?}");
+        let live = streaming.latest_report().unwrap();
+        let post = dsspy.analyze_capture(&capture);
+        assert_eq!(instances_json(&live), instances_json(&post));
+    }
+
+    #[test]
+    fn snapshot_cadence_follows_policy() {
+        let dsspy = Dsspy::new();
+        let config = StreamConfig {
+            snapshots: SnapshotPolicy {
+                every_batches: 4,
+                backoff_queue_depth: 64,
+                max_backoff_shifts: 4,
+            },
+            ..StreamConfig::default()
+        };
+        let streaming = StreamingAnalyzer::new(dsspy, config);
+        let info = InstanceInfo::new(
+            InstanceId(0),
+            dsspy_events::AllocationSite::new("T", "m", 1),
+            dsspy_events::DsKind::List,
+            "i64",
+        );
+        streaming.register_instance(info);
+        let events: Vec<AccessEvent> = (0..10)
+            .map(|i| AccessEvent::at(i, dsspy_events::AccessKind::Insert, i as u32, i as u32 + 1))
+            .collect();
+        for _ in 0..3 {
+            streaming.fold_batch(InstanceId(0), &events, 0);
+        }
+        assert_eq!(streaming.stats().snapshots, 0, "below interval");
+        streaming.fold_batch(InstanceId(0), &events, 0);
+        assert_eq!(streaming.stats().snapshots, 1, "4th batch snapshots");
+        assert!(streaming.latest_report().is_some());
+    }
+
+    #[test]
+    fn queue_pressure_stretches_the_interval() {
+        let policy = SnapshotPolicy {
+            every_batches: 8,
+            backoff_queue_depth: 64,
+            max_backoff_shifts: 4,
+        };
+        assert_eq!(policy.effective_interval(0), 8);
+        assert_eq!(policy.effective_interval(63), 8);
+        assert_eq!(policy.effective_interval(64), 16);
+        assert_eq!(policy.effective_interval(200), 64);
+        assert_eq!(policy.effective_interval(1_000_000), 8 << 4);
+        let off = SnapshotPolicy {
+            backoff_queue_depth: 0,
+            ..policy
+        };
+        assert_eq!(off.effective_interval(1_000_000), 8);
+    }
+
+    #[test]
+    fn mid_session_snapshot_counts_only_what_arrived() {
+        let dsspy = Dsspy::new();
+        let config = StreamConfig {
+            snapshots: SnapshotPolicy {
+                every_batches: 1,
+                backoff_queue_depth: 0,
+                max_backoff_shifts: 0,
+            },
+            ..StreamConfig::default()
+        };
+        let streaming = StreamingAnalyzer::new(dsspy, config);
+        let info = InstanceInfo::new(
+            InstanceId(0),
+            dsspy_events::AllocationSite::new("T", "m", 1),
+            dsspy_events::DsKind::List,
+            "i64",
+        );
+        streaming.register_instance(info);
+        let events: Vec<AccessEvent> = (0..500)
+            .map(|i| AccessEvent::at(i, dsspy_events::AccessKind::Insert, i as u32, i as u32 + 1))
+            .collect();
+        streaming.fold_batch(InstanceId(0), &events[..100], 0);
+        let early = streaming.latest_report().unwrap();
+        assert_eq!(early.instances[0].events, 100);
+        streaming.fold_batch(InstanceId(0), &events[100..], 0);
+        let late = streaming.latest_report().unwrap();
+        assert_eq!(late.instances[0].events, 500);
+        assert!(late.instances[0].is_flagged(), "long insert detected live");
+    }
+
+    #[test]
+    fn selective_mode_filters_streaming_reports_too() {
+        let dsspy = Dsspy::new().selective().with_threads(1);
+        let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+        let session = streaming.attach();
+        {
+            let mut auto = SpyVec::register(&session, site!("auto_hot"));
+            for i in 0..400 {
+                auto.add(i);
+            }
+            let mut manual = SpyVec::register_manual(&session, site!("manual_hot"));
+            for i in 0..400 {
+                manual.add(i);
+            }
+        }
+        let capture = session.finish();
+        let live = streaming.latest_report().unwrap();
+        let post = dsspy.analyze_capture(&capture);
+        assert_eq!(live.instances.len(), 1);
+        assert_eq!(live.instances[0].instance.site.method, "manual_hot");
+        assert_eq!(instances_json(&live), instances_json(&post));
+    }
+
+    #[test]
+    fn stream_telemetry_reports_internals() {
+        let telemetry = Telemetry::enabled();
+        let dsspy = Dsspy::new().with_threads(1);
+        let streaming =
+            StreamingAnalyzer::with_telemetry(dsspy, StreamConfig::default(), telemetry.clone());
+        let session = streaming.attach();
+        run_workload(&session);
+        let _capture = session.finish();
+        let snap = telemetry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert!(counter("stream.events") >= 1900, "{snap:?}");
+        assert!(counter("stream.batches") >= 2);
+        assert!(counter("stream.snapshots") >= 1);
+        assert!(snap.gauge("stream.instances").unwrap_or(0) >= 2);
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|h| h.name == "stream.fold_nanos" && h.count > 0),
+            "{snap:?}"
+        );
+    }
+
+    #[test]
+    fn pattern_cap_keeps_classifications_exact() {
+        let dsspy = Dsspy::new().with_threads(1);
+        let session = Session::new();
+        run_workload(&session);
+        let capture = session.finish();
+        let capped = StreamConfig {
+            max_retained_patterns: 2,
+            ..StreamConfig::default()
+        };
+        let streaming = StreamingAnalyzer::new(dsspy, capped);
+        streaming.replay_capture(&capture, 32);
+        let live = streaming.latest_report().unwrap();
+        let post = dsspy.analyze_capture(&capture);
+        for (l, p) in live.instances.iter().zip(&post.instances) {
+            assert!(l.analysis.patterns.len() <= 2);
+            assert_eq!(
+                serde_json::to_string(&l.use_cases).unwrap(),
+                serde_json::to_string(&p.use_cases).unwrap()
+            );
+            assert_eq!(l.regularity, p.regularity);
+            assert_eq!(
+                serde_json::to_string(&l.analysis.metrics).unwrap(),
+                serde_json::to_string(&p.analysis.metrics).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_channel_session_with_tap_loses_nothing() {
+        let dsspy = Dsspy {
+            session: SessionConfig {
+                batch_size: 8,
+                channel_capacity: Some(4),
+            },
+            ..Dsspy::new()
+        };
+        let streaming = StreamingAnalyzer::new(dsspy.with_threads(1), StreamConfig::default());
+        let session = streaming.attach();
+        {
+            let mut v = SpyVec::register(&session, site!("pressured"));
+            for i in 0..5_000 {
+                v.add(i);
+            }
+        }
+        let capture = session.finish();
+        assert_eq!(capture.stats.dropped, 0);
+        let live = streaming.latest_report().unwrap();
+        assert_eq!(live.instances[0].events as u64, capture.stats.events);
+        let post = dsspy.with_threads(1).analyze_capture(&capture);
+        assert_eq!(instances_json(&live), instances_json(&post));
+    }
+}

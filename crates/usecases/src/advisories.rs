@@ -19,7 +19,7 @@
 //! eight categories are its contribution and stay closed; these are the
 //! "improper data structure usage" side notes, reported separately.
 
-use dsspy_events::{AccessKind, RuntimeProfile};
+use dsspy_events::{AccessEvent, AccessKind, RuntimeProfile};
 use serde::{Deserialize, Serialize};
 
 /// A structural misuse advisory.
@@ -83,61 +83,79 @@ impl Default for AdvisoryConfig {
     }
 }
 
-/// Detect misuse advisories on one profile (linear structures only).
-pub fn advisories(profile: &RuntimeProfile, config: &AdvisoryConfig) -> Vec<Advisory> {
-    let mut out = Vec::new();
-    if !profile.instance.kind.is_linear() {
-        return out;
-    }
+/// Foldable advisory-detection state: one [`AdvisoryFold::fold`] call per
+/// event maintains everything [`advisories`] needs, so the streaming
+/// analyzer can raise the same advisories without retaining events.
+#[derive(Clone, Debug, Default)]
+pub struct AdvisoryFold {
+    total: usize,
+    searches: usize,
+    hops: usize,
+    tree_hops: usize,
+    prev: Option<u32>,
+}
 
-    // --- list-as-tree: heap-edge hop counting over traversal accesses ---
-    // Only in-place reads/writes participate: tree walks are traversals,
-    // and counting the (linear) fill phase would dilute the signal.
-    let mut hops = 0usize;
-    let mut tree_hops = 0usize;
-    let mut prev: Option<u32> = None;
-    for e in &profile.events {
-        if !matches!(e.kind, AccessKind::Read | AccessKind::Write) {
-            continue;
+impl AdvisoryFold {
+    /// Fold one event (events must arrive in profile order).
+    pub fn fold(&mut self, e: &AccessEvent) {
+        self.total += 1;
+        if e.kind == AccessKind::Search {
+            self.searches += 1;
         }
-        let Some(i) = e.index() else { continue };
-        if let Some(p) = prev {
-            hops += 1;
+        // List-as-tree: heap-edge hop counting over traversal accesses.
+        // Only in-place reads/writes participate: tree walks are traversals,
+        // and counting the (linear) fill phase would dilute the signal.
+        if !matches!(e.kind, AccessKind::Read | AccessKind::Write) {
+            return;
+        }
+        let Some(i) = e.index() else { return };
+        if let Some(p) = self.prev {
+            self.hops += 1;
             let down = i == 2 * p + 1 || i == 2 * p + 2;
             let up = p > 0 && i == (p - 1) / 2;
             if down || up {
-                tree_hops += 1;
+                self.tree_hops += 1;
             }
         }
-        prev = Some(i);
-    }
-    if hops > 0 {
-        let share = tree_hops as f64 / hops as f64;
-        if share >= config.tree_hop_share && tree_hops >= config.min_tree_hops {
-            out.push(Advisory::ListAsTree {
-                tree_hop_share: share,
-                tree_hops,
-            });
-        }
+        self.prev = Some(i);
     }
 
-    // --- list-as-map: search-dominated traffic -----------------------------
-    let total = profile.len();
-    let searches = profile
-        .events
-        .iter()
-        .filter(|e| e.kind == AccessKind::Search)
-        .count();
-    if total > 0 {
-        let share = searches as f64 / total as f64;
-        if share >= config.map_search_share && searches >= config.min_searches {
-            out.push(Advisory::ListAsMap {
-                search_share: share,
-                searches,
-            });
+    /// The advisories for everything folded so far. `linear` is whether the
+    /// instance is a linear structure — advisories only apply to those.
+    pub fn finish(&self, linear: bool, config: &AdvisoryConfig) -> Vec<Advisory> {
+        let mut out = Vec::new();
+        if !linear {
+            return out;
         }
+        if self.hops > 0 {
+            let share = self.tree_hops as f64 / self.hops as f64;
+            if share >= config.tree_hop_share && self.tree_hops >= config.min_tree_hops {
+                out.push(Advisory::ListAsTree {
+                    tree_hop_share: share,
+                    tree_hops: self.tree_hops,
+                });
+            }
+        }
+        if self.total > 0 {
+            let share = self.searches as f64 / self.total as f64;
+            if share >= config.map_search_share && self.searches >= config.min_searches {
+                out.push(Advisory::ListAsMap {
+                    search_share: share,
+                    searches: self.searches,
+                });
+            }
+        }
+        out
     }
-    out
+}
+
+/// Detect misuse advisories on one profile (linear structures only).
+pub fn advisories(profile: &RuntimeProfile, config: &AdvisoryConfig) -> Vec<Advisory> {
+    let mut fold = AdvisoryFold::default();
+    for e in &profile.events {
+        fold.fold(e);
+    }
+    fold.finish(profile.instance.kind.is_linear(), config)
 }
 
 #[cfg(test)]

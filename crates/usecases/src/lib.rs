@@ -33,7 +33,7 @@ pub mod thresholds;
 pub mod tuning;
 pub mod usecase;
 
-pub use advisories::{advisories, Advisory, AdvisoryConfig};
+pub use advisories::{advisories, Advisory, AdvisoryConfig, AdvisoryFold};
 pub use classify::{classify, Evidence, UseCase};
 pub use thresholds::Thresholds;
 pub use tuning::{

@@ -31,4 +31,16 @@ test -s "$SMOKE_DIR/smoke.telemetry.json"
 ./target/release/dsspy telemetry "$SMOKE_DIR/smoke.dsspycap" \
     --format prometheus --check >/dev/null
 
+echo "==> streaming smoke (demo --live -> watch -> telemetry serve --self-check)"
+# --live folds the demo session through the collector tap while it runs and
+# fails if the streaming verdicts diverge from the post-mortem analysis.
+./target/release/dsspy demo "$SMOKE_DIR/live.dsspycap" --live >/dev/null
+# Bounded replay: a handful of frames, then the same convergence check.
+./target/release/dsspy watch "$SMOKE_DIR/live.dsspycap" \
+    --batch 256 --frames 4 >/dev/null
+# Curl-free scrape check: the server scrapes itself over TCP, validates the
+# exposition, and exits after one request (port 0 = ephemeral, no clashes).
+./target/release/dsspy telemetry serve "$SMOKE_DIR/live.dsspycap" \
+    --addr 127.0.0.1:0 --requests 1 --self-check >/dev/null
+
 echo "tier1: OK"

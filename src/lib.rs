@@ -18,6 +18,7 @@ pub use dsspy_core as core;
 pub use dsspy_events as events;
 pub use dsspy_parallel as parallel;
 pub use dsspy_patterns as patterns;
+pub use dsspy_stream as stream;
 pub use dsspy_study as study;
 pub use dsspy_telemetry as telemetry;
 pub use dsspy_usecases as usecases;

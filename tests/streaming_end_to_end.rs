@@ -1,0 +1,146 @@
+//! End-to-end streaming convergence over the paper's evaluation suite:
+//! every suite7 workload, run under a live tapped session, must produce a
+//! streaming report whose per-instance verdicts serialize byte-for-byte
+//! like the post-mortem `analyze_capture` of the drained capture — with
+//! matching recommended actions — and a long session must keep the
+//! streaming window within its configured bound.
+
+use dsspy::collect::{Session, SessionConfig};
+use dsspy::core::Dsspy;
+use dsspy::stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer};
+use dsspy_workloads::{suite7, Mode, Scale};
+
+fn instances_json(instances: &[dsspy::core::InstanceReport]) -> String {
+    serde_json::to_string(instances).expect("serialize instance reports")
+}
+
+#[test]
+fn every_suite7_workload_streams_to_the_post_mortem_verdicts() {
+    let dsspy = Dsspy::new().with_threads(1);
+    for w in suite7() {
+        let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+        let session = streaming.attach();
+        w.run(Scale::Test, Mode::Instrumented(&session));
+        let capture = session.finish();
+        let live = streaming
+            .latest_report()
+            .unwrap_or_else(|| panic!("{}: no final snapshot", w.spec().name));
+        let post = dsspy.analyze_capture(&capture);
+
+        // Byte-for-byte on everything per-instance: classifications,
+        // evidence, metrics, patterns, regularity and advisories.
+        assert_eq!(
+            instances_json(&live.instances),
+            instances_json(&post.instances),
+            "{}: streaming diverged from post-mortem",
+            w.spec().name
+        );
+        // Recommended actions, explicitly (the engineer-facing output).
+        let live_actions: Vec<&str> = live
+            .all_use_cases()
+            .iter()
+            .map(|u| u.recommendation())
+            .collect();
+        let post_actions: Vec<&str> = post
+            .all_use_cases()
+            .iter()
+            .map(|u| u.recommendation())
+            .collect();
+        assert_eq!(live_actions, post_actions, "{}", w.spec().name);
+        // And the aggregate headline numbers fall out equal too.
+        assert_eq!(
+            live.flagged_instance_count(),
+            post.flagged_instance_count(),
+            "{}",
+            w.spec().name
+        );
+        assert_eq!(live.stats, post.stats, "{}", w.spec().name);
+        assert_eq!(live.session_nanos, post.session_nanos, "{}", w.spec().name);
+    }
+}
+
+#[test]
+fn replaying_a_suite7_capture_matches_whole_report_serialization() {
+    // Replay mode finishes with the capture's own stats, so the *entire*
+    // report — not just the instance list — serializes identically.
+    let dsspy = Dsspy::new().with_threads(1);
+    let suite = suite7();
+    let w = &suite[6]; // WordWheelSolver, the demo default
+    let session = Session::new();
+    w.run(Scale::Test, Mode::Instrumented(&session));
+    let capture = session.finish();
+
+    let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+    streaming.replay_capture(&capture, 256);
+    let live = streaming.latest_report().expect("final snapshot");
+    let post = dsspy.analyze_capture(&capture);
+    assert_eq!(
+        serde_json::to_string(&*live).unwrap(),
+        serde_json::to_string(&post).unwrap()
+    );
+}
+
+#[test]
+fn long_session_streaming_memory_stays_within_the_window() {
+    // A session far larger than the window: millions of would-be retained
+    // events must collapse to at most `window_events` per instance, while
+    // the verdicts still converge.
+    let window = 256usize;
+    let dsspy = Dsspy {
+        session: SessionConfig {
+            batch_size: 128,
+            channel_capacity: None,
+        },
+        ..Dsspy::new()
+    }
+    .with_threads(1);
+    let config = StreamConfig {
+        window_events: window,
+        max_retained_patterns: 0,
+        snapshots: SnapshotPolicy::default(),
+    };
+    let streaming = StreamingAnalyzer::new(dsspy, config);
+    let session = streaming.attach();
+    let instances = 4usize;
+    {
+        let mut handles: Vec<_> = (0..instances)
+            .map(|i| {
+                session.register(
+                    dsspy::events::AllocationSite::new("Long", "session", i as u32),
+                    dsspy::events::DsKind::List,
+                    "u64",
+                )
+            })
+            .collect();
+        for round in 0..50_000u32 {
+            let h = &mut handles[(round as usize) % instances];
+            h.record(
+                dsspy::events::AccessKind::Insert,
+                dsspy::events::Target::Index(round / instances as u32),
+                round / instances as u32 + 1,
+            );
+        }
+    }
+    let capture = session.finish();
+    assert_eq!(capture.stats.dropped, 0);
+
+    let stats = streaming.stats();
+    assert_eq!(stats.events, 50_000);
+    assert!(
+        stats.window_peak <= window * instances,
+        "retained {} events, bound is {}",
+        stats.window_peak,
+        window * instances
+    );
+    assert!(
+        stats.evicted >= stats.events - (window * instances) as u64,
+        "{stats:?}"
+    );
+
+    let live = streaming.latest_report().expect("final snapshot");
+    let post = dsspy.analyze_capture(&capture);
+    assert_eq!(
+        instances_json(&live.instances),
+        instances_json(&post.instances)
+    );
+}

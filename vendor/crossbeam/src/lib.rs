@@ -126,6 +126,18 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Number of messages currently queued. Producers use this to
+        /// observe the pressure *they* are creating (the receiving half has
+        /// the same accessor); real crossbeam exposes it on both halves.
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Deliver `msg`, blocking while a bounded channel is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut state = self.inner.lock();
