@@ -4,7 +4,7 @@ use std::path::{Path, PathBuf};
 
 use dsspy_cli::{
     cmd_analyze, cmd_chart, cmd_csv, cmd_demo, cmd_diff, cmd_report, cmd_sketch, cmd_telemetry,
-    cmd_telemetry_serve, cmd_timeline, cmd_watch,
+    cmd_telemetry_serve, cmd_telemetry_serve_live, cmd_timeline, cmd_watch, cmd_watch_follow,
 };
 
 fn usage() -> ! {
@@ -17,16 +17,20 @@ fn usage() -> ! {
          dsspy report   <capture> --out <report.html> [--threads N] [--telemetry PATH]\n  \
          dsspy csv      <capture> <instances|usecases>\n  \
          dsspy telemetry <capture> [--threads N] [--format summary|json|prometheus|trace] [--check]\n  \
-         dsspy telemetry serve <capture> [--addr HOST:PORT] [--requests N] [--self-check] [--threads N]\n  \
+         dsspy telemetry serve <capture> [--live] [--addr HOST:PORT] [--requests N] [--self-check] [--threads N]\n  \
          dsspy demo     <out.dsspycap> [--workload NAME] [--live]\n  \
-         dsspy watch    <capture> [--batch N] [--window N] [--every N] [--frames N]\n\
+         dsspy watch    <capture> [--batch N] [--window N] [--every N] [--frames N]\n  \
+         dsspy watch    --follow [--workload NAME] [--batch N] [--window N] [--every N] [--frames N]\n\
          \n--threads: analysis workers (0 = one per core, 1 = sequential)\n\
          --telemetry PATH: self-observe the run; write the snapshot to PATH as JSON\n\
          --live: stream the demo session through the collector tap while it runs\n\
          watch: --batch events per replayed batch, --window retained events per instance,\n\
-         \u{20}       --every snapshot cadence in batches, --frames max frames printed\n\
+         \u{20}       --every snapshot cadence in batches, --frames max frames printed;\n\
+         \u{20}       --follow runs a suite7 workload live and follows its fan-out tap\n\
          serve: --addr listen address (port 0 = ephemeral), --requests scrapes before exit\n\
-         \u{20}      (default: forever), --self-check scrape yourself and validate"
+         \u{20}      (default: forever), --self-check scrape yourself and validate;\n\
+         \u{20}      --live re-collects the capture in real time and serves a fresh\n\
+         \u{20}      snapshot of the running session per scrape"
     );
     std::process::exit(2)
 }
@@ -138,13 +142,23 @@ fn main() {
                 };
                 let addr = value("--addr").unwrap_or_else(|| "127.0.0.1:9464".to_string());
                 let requests = value("--requests").and_then(|v| v.parse().ok());
-                cmd_telemetry_serve(
-                    Path::new(path),
-                    threads,
-                    &addr,
-                    requests,
-                    flag("--self-check"),
-                )
+                if flag("--live") {
+                    cmd_telemetry_serve_live(
+                        Path::new(path),
+                        threads,
+                        &addr,
+                        requests,
+                        flag("--self-check"),
+                    )
+                } else {
+                    cmd_telemetry_serve(
+                        Path::new(path),
+                        threads,
+                        &addr,
+                        requests,
+                        flag("--self-check"),
+                    )
+                }
             } else {
                 let Some(path) = positional.first() else {
                     usage()
@@ -164,16 +178,20 @@ fn main() {
             )
         }
         "watch" => {
-            let Some(path) = positional.first() else {
-                usage()
-            };
             let batch: usize = value("--batch").and_then(|v| v.parse().ok()).unwrap_or(512);
             let window: usize = value("--window")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1024);
             let every: u64 = value("--every").and_then(|v| v.parse().ok()).unwrap_or(4);
             let frames: usize = value("--frames").and_then(|v| v.parse().ok()).unwrap_or(12);
-            cmd_watch(Path::new(path), batch, window, every, frames)
+            if flag("--follow") {
+                cmd_watch_follow(value("--workload").as_deref(), batch, window, every, frames)
+            } else {
+                let Some(path) = positional.first() else {
+                    usage()
+                };
+                cmd_watch(Path::new(path), batch, window, every, frames)
+            }
         }
         _ => usage(),
     };

@@ -13,18 +13,24 @@
 //! dsspy sketch   capture.dsspycap
 //! dsspy report   capture.dsspycap --out report.html [--threads N] [--telemetry t.json]
 //! dsspy telemetry capture.dsspycap [--format summary|json|prometheus|trace] [--check]
-//! dsspy telemetry serve capture.dsspycap --addr 127.0.0.1:9464 [--requests N] [--self-check]
+//! dsspy telemetry serve capture.dsspycap [--live] --addr 127.0.0.1:9464 [--requests N] [--self-check]
 //! dsspy demo     out.dsspycap [--workload NAME] [--live]
 //! dsspy watch    capture.dsspycap [--batch N] [--window N] [--every N] [--frames N]
+//! dsspy watch    --follow [--workload NAME] [--batch N] [--window N] [--every N] [--frames N]
 //! ```
 //!
 //! `dsspy watch` replays a capture through `dsspy-stream`'s
 //! [`StreamingAnalyzer`] — the same incremental fold the live collector tap
 //! runs — printing a frame per published snapshot and proving on exit that
 //! the streamed verdicts equal the post-mortem analysis. `dsspy demo
-//! --live` does the same against a genuinely live session. `dsspy telemetry
-//! serve` exposes the self-observed analysis as a Prometheus scrape
-//! endpoint over a plain-stdlib TCP listener.
+//! --live` does the same against a genuinely live session, and `dsspy
+//! watch --follow` goes one further: it drives a suite7 workload on its own
+//! thread and follows the session's [`TapFanout`] (analyzer + sampler +
+//! recorder) while it runs. `dsspy telemetry serve` exposes the
+//! self-observed analysis as a Prometheus scrape endpoint over a
+//! plain-stdlib TCP listener; with `--live` it attaches to a *running*
+//! session instead, re-collecting the capture in real time and rendering a
+//! fresh, validated snapshot per scrape.
 //!
 //! `--threads` controls the analysis fan-out of the commands that run the
 //! full pipeline (`0` = one worker per core, `1` = sequential); the output
@@ -41,11 +47,13 @@
 //! spawning processes; the binary is a thin argv switch.
 
 use dsspy_collect::{
-    load_capture, load_capture_with, save_capture_with, PersistError, ReadOptions, Session,
+    load_capture, load_capture_with, save_capture_with, Capture, CaptureRecorder, PersistError,
+    ReadOptions, Session, SessionConfig, TapFanout,
 };
 use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy, Report};
+use dsspy_events::Origin;
 use dsspy_patterns::{analyze, segment_phases, MinerConfig, PhaseConfig};
-use dsspy_stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer};
+use dsspy_stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer, TelemetrySampler};
 use dsspy_telemetry::{export, OverheadReport, Telemetry};
 use dsspy_viz::html_report;
 use dsspy_viz::{profile_chart_svg, profile_chart_text, timeline_svg, timeline_text, ChartConfig};
@@ -313,20 +321,7 @@ pub fn cmd_telemetry(
 /// post-mortem analysis of the very capture it just saved.
 pub fn cmd_demo(out: &Path, workload: Option<&str>, live: bool) -> Result<String, CliError> {
     let suite = suite7();
-    let name = workload.unwrap_or("WordWheelSolver");
-    let w = suite
-        .iter()
-        .find(|w| w.spec().name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            CliError::Telemetry(format!(
-                "unknown workload {name:?} (one of: {})",
-                suite
-                    .iter()
-                    .map(|w| w.spec().name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))
-        })?;
+    let w = &suite[find_workload(workload)?];
     // Record under an observed session so the capture carries collection-time
     // telemetry (collector histograms, queue pressure) into offline analysis.
     let telemetry = Telemetry::enabled();
@@ -373,6 +368,27 @@ pub fn cmd_demo(out: &Path, workload: Option<&str>, live: bool) -> Result<String
         }
     }
     Ok(msg)
+}
+
+/// Index of a suite7 workload by (case-insensitive) name; `None` picks the
+/// demo default. An index rather than the workload itself so callers can
+/// rebuild the suite on another thread.
+fn find_workload(name: Option<&str>) -> Result<usize, CliError> {
+    let suite = suite7();
+    let name = name.unwrap_or("WordWheelSolver");
+    suite
+        .iter()
+        .position(|w| w.spec().name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::Telemetry(format!(
+                "unknown workload {name:?} (one of: {})",
+                suite
+                    .iter()
+                    .map(|w| w.spec().name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
 }
 
 /// Whether two reports carry byte-identical per-instance verdicts
@@ -566,6 +582,357 @@ pub fn cmd_telemetry_serve(
         msg.push_str("; self-check scrape validated");
     }
     Ok(msg)
+}
+
+/// The live-session subscriber trio behind `--live` and `--follow`: a
+/// streaming analyzer, a telemetry sampler and a capture recorder, all
+/// multiplexed onto one session through a [`TapFanout`] so each sees every
+/// stored batch independently.
+struct LiveRig {
+    streaming: StreamingAnalyzer,
+    sampler: TelemetrySampler,
+    recorder: CaptureRecorder,
+    session: Session,
+}
+
+fn live_rig(dsspy: Dsspy, config: StreamConfig, telemetry: &Telemetry) -> LiveRig {
+    let streaming = StreamingAnalyzer::with_telemetry(dsspy, config, telemetry.clone());
+    let sampler = TelemetrySampler::new(telemetry);
+    let recorder = CaptureRecorder::new();
+    let fanout = TapFanout::with_telemetry(telemetry.clone())
+        .with_subscriber("analyzer", streaming.tap())
+        .with_subscriber("sampler", sampler.tap())
+        .with_subscriber("recorder", recorder.tap());
+    let session = Session::with_tap(dsspy.session, telemetry.clone(), Box::new(fanout));
+    streaming.bind_registry(session.registry_handle());
+    LiveRig {
+        streaming,
+        sampler,
+        recorder,
+        session,
+    }
+}
+
+/// Re-collect a saved capture through real instance handles on the calling
+/// thread, in the original global event order. The session genuinely runs:
+/// events flow through the batch channel, the collector thread stores them
+/// and the tap fans them out. Brief sleeps between chunks keep the session
+/// in flight long enough for concurrent scrapes to observe it mid-collection.
+fn replay_live(session: &Session, source: &Capture) {
+    let mut handles: Vec<_> = source
+        .profiles
+        .iter()
+        .map(|p| {
+            let i = &p.instance;
+            if matches!(i.origin, Origin::Manual) {
+                session.register_manual(i.site.clone(), i.kind, i.elem_type.clone())
+            } else {
+                session.register(i.site.clone(), i.kind, i.elem_type.clone())
+            }
+        })
+        .collect();
+    let mut order: Vec<(u64, usize, usize)> = Vec::new();
+    for (pi, p) in source.profiles.iter().enumerate() {
+        for (ei, e) in p.events.iter().enumerate() {
+            order.push((e.seq, pi, ei));
+        }
+    }
+    order.sort_unstable();
+    for (n, &(_, pi, ei)) in order.iter().enumerate() {
+        let e = &source.profiles[pi].events[ei];
+        handles[pi].record(e.kind, e.target, e.len);
+        if n % 512 == 511 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// `dsspy telemetry serve --live`: attach the scrape endpoint to a
+/// *running* session instead of a finished analysis. The saved capture is
+/// re-collected in real time on a driver thread through [`replay_live`]
+/// while the listener renders a **fresh** snapshot of the enabled
+/// [`Telemetry`] for every scrape — `collector.*`, `stream.*` and
+/// `stream.tap.*` signals observed mid-collection, each exposition
+/// validated before it is served.
+///
+/// Once the driver drains, the command proves the whole fan-out converged:
+/// the streaming analyzer's verdicts, the sampler's collector stats and the
+/// post-mortem analysis of the recorder's rebuilt capture must all agree
+/// with [`Dsspy::analyze_capture`] of the re-collected session's capture.
+pub fn cmd_telemetry_serve_live(
+    path: &Path,
+    threads: usize,
+    addr: &str,
+    requests: Option<u64>,
+    self_check: bool,
+) -> Result<String, CliError> {
+    use std::io::{Read, Write};
+
+    let source = load_capture(path)?;
+    let dsspy = Dsspy {
+        session: SessionConfig {
+            batch_size: 64,
+            channel_capacity: None,
+        },
+        ..Dsspy::new()
+    }
+    .with_threads(threads);
+    let telemetry = Telemetry::enabled();
+    let LiveRig {
+        streaming,
+        sampler,
+        recorder,
+        session,
+    } = live_rig(dsspy, StreamConfig::default(), &telemetry);
+
+    let driver = std::thread::spawn(move || {
+        replay_live(&session, &source);
+        session.finish()
+    });
+
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("serving live session metrics on http://{local}/metrics");
+    let checker = self_check.then(|| {
+        std::thread::spawn(move || -> Result<String, String> {
+            let mut stream = std::net::TcpStream::connect(local).map_err(|e| e.to_string())?;
+            stream
+                .write_all(b"GET /metrics HTTP/1.0\r\nHost: dsspy\r\n\r\n")
+                .map_err(|e| e.to_string())?;
+            let mut response = String::new();
+            stream
+                .read_to_string(&mut response)
+                .map_err(|e| e.to_string())?;
+            let (_headers, body) = response
+                .split_once("\r\n\r\n")
+                .ok_or_else(|| "malformed HTTP response".to_string())?;
+            Ok(body.to_string())
+        })
+    });
+
+    let mut served = 0u64;
+    let mut last_len = 0usize;
+    for conn in listener.incoming() {
+        let mut conn = conn?;
+        let mut buf = [0u8; 1024];
+        let n = conn.read(&mut buf).unwrap_or(0);
+        let request = String::from_utf8_lossy(&buf[..n]);
+        let path_ok = request
+            .lines()
+            .next()
+            .map(|l| {
+                let mut parts = l.split_whitespace();
+                parts.next(); // method
+                matches!(parts.next(), Some("/") | Some("/metrics"))
+            })
+            .unwrap_or(false);
+        // The point of --live: a fresh snapshot per scrape, frozen while
+        // the collector may still be storing batches — and still a valid
+        // exposition every single time.
+        let body = if path_ok {
+            let rendered = export::prometheus(&telemetry.snapshot());
+            validate_prometheus(&rendered).map_err(|e| {
+                CliError::Telemetry(format!("mid-session scrape failed validation: {e}"))
+            })?;
+            last_len = rendered.len();
+            Some(rendered)
+        } else {
+            None
+        };
+        let (status, payload) = match &body {
+            Some(b) => ("200 OK", b.as_str()),
+            None => ("404 Not Found", "only / and /metrics exist here\n"),
+        };
+        let _ = conn.write_all(
+            format!(
+                "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+                 charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len()
+            )
+            .as_bytes(),
+        );
+        served += 1;
+        if let Some(max) = requests {
+            if served >= max {
+                break;
+            }
+        }
+    }
+
+    let capture = driver
+        .join()
+        .map_err(|_| CliError::Stream("live replay driver panicked".into()))?;
+    let post = dsspy.analyze_capture(&capture);
+    let live = streaming
+        .latest_report()
+        .ok_or_else(|| CliError::Stream("session ended without a snapshot".into()))?;
+    if !instances_match(&live, &post)? {
+        return Err(CliError::Stream(
+            "live streaming verdicts diverged from post-mortem analysis".into(),
+        ));
+    }
+    let (stats, nanos) = sampler
+        .final_stats()
+        .ok_or_else(|| CliError::Stream("sampler missed on_stop".into()))?;
+    if stats != capture.stats || nanos != capture.session_nanos {
+        return Err(CliError::Stream(
+            "sampler stats diverged from the collector's".into(),
+        ));
+    }
+    let infos: Vec<_> = capture
+        .profiles
+        .iter()
+        .map(|p| p.instance.clone())
+        .collect();
+    let rebuilt = recorder
+        .capture(infos)
+        .ok_or_else(|| CliError::Stream("recorder missed on_stop".into()))?;
+    if !instances_match(&dsspy.analyze_capture(&rebuilt), &post)? {
+        return Err(CliError::Stream(
+            "recorder's rebuilt capture analyzed differently".into(),
+        ));
+    }
+
+    let mut msg = format!(
+        "served {served} live scrape(s) (last {last_len} bytes) from http://{local}/metrics; \
+         re-collected {} events in {} batches; all 3 subscribers converged with post-mortem",
+        capture.stats.events, capture.stats.batches
+    );
+    if let Some(handle) = checker {
+        let scraped = handle
+            .join()
+            .map_err(|_| CliError::Telemetry("self-check thread panicked".into()))?
+            .map_err(CliError::Telemetry)?;
+        validate_prometheus(&scraped).map_err(CliError::Telemetry)?;
+        msg.push_str("; self-check scrape validated");
+    }
+    Ok(msg)
+}
+
+/// `dsspy watch --follow`: subscribe the streaming analyzer to a session
+/// that is *actually running* — a suite7 workload driven on its own thread
+/// — instead of replaying a finished file. Frames are printed as snapshots
+/// appear; on drain the streamed verdicts, the sampler's stats and the
+/// recorder's rebuilt capture are all checked against the post-mortem
+/// analysis.
+pub fn cmd_watch_follow(
+    workload: Option<&str>,
+    batch: usize,
+    window: usize,
+    every: u64,
+    max_frames: usize,
+) -> Result<String, CliError> {
+    let w_idx = find_workload(workload)?;
+    let dsspy = Dsspy {
+        session: SessionConfig {
+            batch_size: batch.max(1),
+            channel_capacity: None,
+        },
+        ..Dsspy::new()
+    }
+    .with_threads(1);
+    let telemetry = Telemetry::enabled();
+    let config = StreamConfig {
+        window_events: window,
+        max_retained_patterns: 0,
+        snapshots: SnapshotPolicy {
+            every_batches: every.max(1),
+            ..SnapshotPolicy::default()
+        },
+    };
+    let LiveRig {
+        streaming,
+        sampler,
+        recorder,
+        session,
+    } = live_rig(dsspy, config, &telemetry);
+
+    let driver = std::thread::spawn(move || {
+        let suite = suite7();
+        suite[w_idx].run(Scale::Test, Mode::Instrumented(&session));
+        session.finish()
+    });
+
+    let mut out = String::new();
+    let mut frames = 0usize;
+    let mut seen = 0u64;
+    let poll = |out: &mut String, frames: &mut usize, seen: &mut u64| {
+        let stats = streaming.stats();
+        if stats.snapshots > *seen {
+            *seen = stats.snapshots;
+            if *frames < max_frames {
+                if let Some(report) = streaming.latest_report() {
+                    *frames += 1;
+                    out.push_str(&format!(
+                        "frame {frames}: {} events in {} batches | {}/{} instances flagged, \
+                         {} use cases | window {} (peak {})\n",
+                        stats.events,
+                        stats.batches,
+                        report.flagged_instance_count(),
+                        report.instance_count(),
+                        report.all_use_cases().len(),
+                        stats.window_events,
+                        stats.window_peak,
+                    ));
+                }
+            }
+        }
+    };
+    while !driver.is_finished() {
+        poll(&mut out, &mut frames, &mut seen);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let capture = driver
+        .join()
+        .map_err(|_| CliError::Stream("workload driver panicked".into()))?;
+    // The drain published a final snapshot; catch it even if the loop
+    // exited first.
+    poll(&mut out, &mut frames, &mut seen);
+
+    let live = streaming
+        .latest_report()
+        .ok_or_else(|| CliError::Stream("session ended without a snapshot".into()))?;
+    let post = dsspy.analyze_capture(&capture);
+    let converged = instances_match(&live, &post)?;
+    out.push('\n');
+    out.push_str(&live.summary());
+    out.push_str("\n\n");
+    out.push_str(&live.render_use_cases());
+    out.push_str(&format!(
+        "followed live session: {} events in {} batches, {} frame(s) printed\n",
+        capture.stats.events, capture.stats.batches, frames
+    ));
+    out.push_str(&format!(
+        "streaming verdicts match post-mortem analysis: {}\n",
+        if converged { "yes" } else { "NO" }
+    ));
+    if !converged {
+        return Err(CliError::Stream(
+            "streaming verdicts diverged from post-mortem analysis".into(),
+        ));
+    }
+    let (stats, nanos) = sampler
+        .final_stats()
+        .ok_or_else(|| CliError::Stream("sampler missed on_stop".into()))?;
+    if stats != capture.stats || nanos != capture.session_nanos {
+        return Err(CliError::Stream(
+            "sampler stats diverged from the collector's".into(),
+        ));
+    }
+    let infos: Vec<_> = capture
+        .profiles
+        .iter()
+        .map(|p| p.instance.clone())
+        .collect();
+    let rebuilt = recorder
+        .capture(infos)
+        .ok_or_else(|| CliError::Stream("recorder missed on_stop".into()))?;
+    if !instances_match(&dsspy.analyze_capture(&rebuilt), &post)? {
+        return Err(CliError::Stream(
+            "recorder's rebuilt capture analyzed differently".into(),
+        ));
+    }
+    Ok(out)
 }
 
 /// Validate a Prometheus text-format exposition (the subset the exporter

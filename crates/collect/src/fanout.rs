@@ -1,0 +1,475 @@
+//! Fan-out tap: one collector thread, many [`CollectorTap`] subscribers.
+//!
+//! PR 3's streaming subsystem attached exactly one in-process consumer to
+//! the collector's batch path. A long-running profiling *service* needs
+//! more: a streaming analyzer, a telemetry sampler feeding a live scrape
+//! endpoint, and ad-hoc observers, all watching the same session. The
+//! [`TapFanout`] is that multiplexer — it is itself a [`CollectorTap`], so
+//! it plugs into [`Session::with_tap`](crate::Session::with_tap) unchanged,
+//! and it delivers every `on_batch`/`on_stop` to each registered subscriber
+//! **in registration order**, on the collector thread.
+//!
+//! Delivery guarantees, per subscriber:
+//!
+//! * every stored batch, in arrival order (the same order the single-tap
+//!   path sees — dropped post-`Stop` batches are never delivered);
+//! * `on_stop` exactly once, after the last batch;
+//! * **panic isolation** — a subscriber that panics is poisoned (skipped
+//!   for the rest of the session, counted in `stream.tap.panics`) and the
+//!   collector thread, the other subscribers, and
+//!   [`CollectorStats`] are unaffected.
+//!
+//! When built with an enabled [`Telemetry`], the fanout publishes
+//! per-subscriber `stream.tap.<label>.*` instruments: `batches` / `events`
+//! counters and a `dispatch_nanos` histogram (time that subscriber spends
+//! in `on_batch`, which is collector busy time), plus the aggregate
+//! `stream.tap.subscribers` gauge and `stream.tap.panics` counter.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use dsspy_events::{AccessEvent, InstanceId, InstanceInfo};
+use dsspy_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use parking_lot::Mutex;
+
+use crate::collector::{Capture, CollectorStats, CollectorTap};
+
+/// Turn a per-subscriber metric name into the `&'static str` the telemetry
+/// registry requires. Leaks one small string per (subscriber, instrument) —
+/// subscribers are registered a handful of times per process, so the leak is
+/// bounded; the disabled-telemetry path never calls this.
+fn static_name(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+/// Keep labels metric-safe: alphanumerics pass through, everything else
+/// folds to `_` (mirrors the Prometheus renderer's own folding).
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// One registered subscriber and its dispatch instruments.
+struct Subscriber {
+    label: String,
+    tap: Box<dyn CollectorTap>,
+    /// Set when the subscriber panicked; poisoned subscribers are skipped
+    /// (their internal state can no longer be trusted).
+    poisoned: bool,
+    batches: Counter,
+    events: Counter,
+    dispatch_nanos: Histogram,
+}
+
+/// A [`CollectorTap`] that multiplexes the batch path to N subscribers.
+///
+/// Build with [`TapFanout::new`] / [`TapFanout::with_telemetry`], register
+/// subscribers with [`TapFanout::subscribe`] (or the chaining
+/// [`TapFanout::with_subscriber`]), then hand the whole fanout to
+/// [`Session::with_tap`](crate::Session::with_tap) as `Box::new(fanout)`.
+pub struct TapFanout {
+    telemetry: Telemetry,
+    subs: Vec<Subscriber>,
+    subscribers: Gauge,
+    panics: Counter,
+}
+
+impl TapFanout {
+    /// An empty fanout without self-observation.
+    pub fn new() -> TapFanout {
+        TapFanout::with_telemetry(Telemetry::disabled())
+    }
+
+    /// An empty fanout that reports `stream.tap.*` instruments into
+    /// `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> TapFanout {
+        let subscribers = telemetry.gauge("stream.tap.subscribers");
+        let panics = telemetry.counter("stream.tap.panics");
+        TapFanout {
+            telemetry,
+            subs: Vec::new(),
+            subscribers,
+            panics,
+        }
+    }
+
+    /// Register `tap` under `label`. Delivery order across subscribers is
+    /// registration order; `label` names the subscriber's
+    /// `stream.tap.<label>.*` instruments.
+    pub fn subscribe(&mut self, label: &str, tap: Box<dyn CollectorTap>) {
+        let (batches, events, dispatch_nanos) = if self.telemetry.is_enabled() {
+            let clean = sanitize_label(label);
+            (
+                self.telemetry
+                    .counter(static_name(format!("stream.tap.{clean}.batches"))),
+                self.telemetry
+                    .counter(static_name(format!("stream.tap.{clean}.events"))),
+                self.telemetry
+                    .histogram(static_name(format!("stream.tap.{clean}.dispatch_nanos"))),
+            )
+        } else {
+            (Counter::default(), Counter::default(), Histogram::default())
+        };
+        self.subs.push(Subscriber {
+            label: label.to_string(),
+            tap,
+            poisoned: false,
+            batches,
+            events,
+            dispatch_nanos,
+        });
+        self.subscribers.set(self.subs.len() as u64);
+    }
+
+    /// [`TapFanout::subscribe`], chaining.
+    pub fn with_subscriber(mut self, label: &str, tap: Box<dyn CollectorTap>) -> TapFanout {
+        self.subscribe(label, tap);
+        self
+    }
+
+    /// Number of registered subscribers.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether no subscriber is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Labels of subscribers that panicked so far.
+    pub fn poisoned_labels(&self) -> Vec<&str> {
+        self.subs
+            .iter()
+            .filter(|s| s.poisoned)
+            .map(|s| s.label.as_str())
+            .collect()
+    }
+
+    /// Deliver one callback to every healthy subscriber, isolating panics.
+    /// `batch_events` is `Some(len)` for `on_batch` deliveries (counted into
+    /// the subscriber's `batches`/`events` instruments) and `None` for
+    /// `on_stop` (timed, not counted as a batch).
+    fn dispatch(&mut self, batch_events: Option<u64>, call: impl Fn(&mut dyn CollectorTap)) {
+        for sub in self.subs.iter_mut().filter(|s| !s.poisoned) {
+            let started = self.telemetry.now_nanos();
+            // The collector thread must survive any subscriber. A panicking
+            // subscriber may have torn internal state, so it is poisoned and
+            // skipped from here on; everyone else keeps receiving.
+            let outcome = catch_unwind(AssertUnwindSafe(|| call(sub.tap.as_mut())));
+            match outcome {
+                Ok(()) => {
+                    if let Some(events) = batch_events {
+                        sub.batches.inc();
+                        sub.events.add(events);
+                    }
+                    sub.dispatch_nanos
+                        .record(self.telemetry.now_nanos().saturating_sub(started));
+                }
+                Err(_payload) => {
+                    sub.poisoned = true;
+                    self.panics.inc();
+                }
+            }
+        }
+    }
+}
+
+impl Default for TapFanout {
+    fn default() -> Self {
+        TapFanout::new()
+    }
+}
+
+impl std::fmt::Debug for TapFanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapFanout")
+            .field(
+                "subscribers",
+                &self.subs.iter().map(|s| &s.label).collect::<Vec<_>>(),
+            )
+            .field("poisoned", &self.poisoned_labels())
+            .finish()
+    }
+}
+
+impl CollectorTap for TapFanout {
+    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+        self.dispatch(Some(events.len() as u64), |tap| {
+            tap.on_batch(id, events, queue_depth)
+        });
+    }
+
+    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+        self.dispatch(None, |tap| tap.on_stop(stats, session_nanos));
+    }
+}
+
+/// What a [`CaptureRecorder`] has seen so far.
+#[derive(Default)]
+struct RecorderState {
+    events: HashMap<InstanceId, Vec<AccessEvent>>,
+    /// `(instance, batch length)` per delivered batch, in delivery order —
+    /// the ordering evidence the fanout tests assert on.
+    batch_log: Vec<(InstanceId, usize)>,
+    finished: Option<(CollectorStats, u64)>,
+}
+
+/// A tap subscriber that mirrors the capture: it accumulates every
+/// delivered batch and, once the session stops, can rebuild a [`Capture`]
+/// equal to the one [`Session::finish`](crate::Session::finish) returns.
+///
+/// Clones share state: keep one handle on the driving thread and pass
+/// [`CaptureRecorder::tap`] to a [`TapFanout`] (or directly to
+/// [`Session::with_tap`](crate::Session::with_tap)). Because taps observe
+/// exactly the stored batches, the rebuilt capture's profiles are
+/// byte-identical to the session's own — the property the live-service
+/// convergence tests pin.
+#[derive(Clone, Default)]
+pub struct CaptureRecorder {
+    shared: Arc<Mutex<RecorderState>>,
+}
+
+impl CaptureRecorder {
+    /// A fresh recorder with no events.
+    pub fn new() -> CaptureRecorder {
+        CaptureRecorder::default()
+    }
+
+    /// The collector-thread subscription half.
+    pub fn tap(&self) -> Box<dyn CollectorTap> {
+        Box::new(RecorderTap {
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Whether `on_stop` has been delivered.
+    pub fn stopped(&self) -> bool {
+        self.shared.lock().finished.is_some()
+    }
+
+    /// The collector stats and session duration delivered at `on_stop`.
+    pub fn final_stats(&self) -> Option<(CollectorStats, u64)> {
+        self.shared.lock().finished
+    }
+
+    /// `(instance, batch length)` per delivered batch, in delivery order.
+    pub fn batch_log(&self) -> Vec<(InstanceId, usize)> {
+        self.shared.lock().batch_log.clone()
+    }
+
+    /// Rebuild the capture from everything recorded, pairing the events
+    /// with `instances` (registration order — e.g. a registry snapshot, or
+    /// the profiles of the session's own capture). `None` until the session
+    /// stopped.
+    pub fn capture(&self, instances: Vec<InstanceInfo>) -> Option<Capture> {
+        let mut state = self.shared.lock();
+        let (stats, session_nanos) = state.finished?;
+        let events = std::mem::take(&mut state.events);
+        let capture = Capture::assemble(instances, events, stats, session_nanos);
+        // Put the map back so `capture` can be called again.
+        state.events = capture
+            .profiles
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| (p.instance.id, p.events.clone()))
+            .collect();
+        Some(capture)
+    }
+}
+
+impl std::fmt::Debug for CaptureRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("CaptureRecorder")
+            .field("instances", &state.events.len())
+            .field("batches", &state.batch_log.len())
+            .field("stopped", &state.finished.is_some())
+            .finish()
+    }
+}
+
+struct RecorderTap {
+    shared: Arc<Mutex<RecorderState>>,
+}
+
+impl CollectorTap for RecorderTap {
+    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], _queue_depth: usize) {
+        let mut state = self.shared.lock();
+        state
+            .events
+            .entry(id)
+            .or_default()
+            .extend_from_slice(events);
+        state.batch_log.push((id, events.len()));
+    }
+
+    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+        self.shared.lock().finished = Some((*stats, session_nanos));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_events::{AccessKind, AllocationSite, DsKind};
+
+    fn event(seq: u64) -> AccessEvent {
+        AccessEvent::at(seq, AccessKind::Insert, seq as u32, seq as u32 + 1)
+    }
+
+    fn batch(seqs: std::ops::Range<u64>) -> Vec<AccessEvent> {
+        seqs.map(event).collect()
+    }
+
+    /// A subscriber that panics when it sees its `panic_on`-th batch.
+    struct PanickyTap {
+        seen: usize,
+        panic_on: usize,
+    }
+
+    impl CollectorTap for PanickyTap {
+        fn on_batch(&mut self, _id: InstanceId, _events: &[AccessEvent], _depth: usize) {
+            self.seen += 1;
+            if self.seen == self.panic_on {
+                panic!("subscriber blew up on batch {}", self.seen);
+            }
+        }
+        fn on_stop(&mut self, _stats: &CollectorStats, _nanos: u64) {}
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_batch_in_order() {
+        let recorders: Vec<CaptureRecorder> = (0..3).map(|_| CaptureRecorder::new()).collect();
+        let mut fanout = TapFanout::new();
+        for (i, r) in recorders.iter().enumerate() {
+            fanout.subscribe(&format!("sub{i}"), r.tap());
+        }
+        assert_eq!(fanout.len(), 3);
+        fanout.on_batch(InstanceId(0), &batch(0..4), 0);
+        fanout.on_batch(InstanceId(1), &batch(4..6), 1);
+        fanout.on_batch(InstanceId(0), &batch(6..7), 0);
+        let stats = CollectorStats {
+            events: 7,
+            batches: 3,
+            dropped: 0,
+        };
+        fanout.on_stop(&stats, 999);
+        let expected = vec![(InstanceId(0), 4), (InstanceId(1), 2), (InstanceId(0), 1)];
+        for r in &recorders {
+            assert_eq!(r.batch_log(), expected, "delivery order per subscriber");
+            assert_eq!(r.final_stats(), Some((stats, 999)));
+        }
+    }
+
+    #[test]
+    fn panicking_subscriber_is_isolated_and_poisoned() {
+        let healthy = CaptureRecorder::new();
+        let late = CaptureRecorder::new();
+        let telemetry = Telemetry::enabled();
+        let mut fanout = TapFanout::with_telemetry(telemetry.clone())
+            .with_subscriber("healthy", healthy.tap())
+            .with_subscriber(
+                "bomb",
+                Box::new(PanickyTap {
+                    seen: 0,
+                    panic_on: 3,
+                }),
+            )
+            .with_subscriber("late", late.tap());
+        // Silence the default panic hook for the expected panic; restore a
+        // default hook afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for i in 0..5u64 {
+            fanout.on_batch(InstanceId(i), &batch(i..i + 1), 0);
+        }
+        std::panic::set_hook(hook);
+        let stats = CollectorStats {
+            events: 5,
+            batches: 5,
+            dropped: 0,
+        };
+        fanout.on_stop(&stats, 5);
+        assert_eq!(fanout.poisoned_labels(), vec!["bomb"]);
+        // Subscribers before and after the bomb both saw all five batches
+        // and the stop, in order.
+        for r in [&healthy, &late] {
+            assert_eq!(r.batch_log().len(), 5);
+            assert_eq!(r.final_stats(), Some((stats, 5)));
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("stream.tap.panics"), Some(1));
+        assert_eq!(snap.counter("stream.tap.healthy.batches"), Some(5));
+        assert_eq!(snap.counter("stream.tap.healthy.events"), Some(5));
+        // The bomb delivered twice before panicking; the panicking call is
+        // not counted as a delivery.
+        assert_eq!(snap.counter("stream.tap.bomb.batches"), Some(2));
+        assert_eq!(snap.gauge("stream.tap.subscribers"), Some(3));
+    }
+
+    #[test]
+    fn dispatch_telemetry_tracks_per_subscriber_volume() {
+        let telemetry = Telemetry::enabled();
+        let r = CaptureRecorder::new();
+        let mut fanout =
+            TapFanout::with_telemetry(telemetry.clone()).with_subscriber("only one!", r.tap());
+        fanout.on_batch(InstanceId(0), &batch(0..10), 0);
+        fanout.on_batch(InstanceId(0), &batch(10..15), 0);
+        let snap = telemetry.snapshot();
+        // Label sanitized for the metric namespace.
+        assert_eq!(snap.counter("stream.tap.only_one_.batches"), Some(2));
+        assert_eq!(snap.counter("stream.tap.only_one_.events"), Some(15));
+        let h = snap
+            .histogram("stream.tap.only_one_.dispatch_nanos")
+            .unwrap();
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn recorder_rebuilds_the_capture() {
+        let recorder = CaptureRecorder::new();
+        let mut tap = recorder.tap();
+        tap.on_batch(InstanceId(0), &batch(0..3), 0);
+        tap.on_batch(InstanceId(1), &batch(3..5), 0);
+        assert!(recorder.capture(Vec::new()).is_none(), "not stopped yet");
+        let stats = CollectorStats {
+            events: 5,
+            batches: 2,
+            dropped: 0,
+        };
+        tap.on_stop(&stats, 77);
+        let infos: Vec<InstanceInfo> = (0..2)
+            .map(|i| {
+                InstanceInfo::new(
+                    InstanceId(i),
+                    AllocationSite::new("Fanout", "rec", i as u32),
+                    DsKind::List,
+                    "i64",
+                )
+            })
+            .collect();
+        let capture = recorder.capture(infos.clone()).expect("stopped");
+        assert_eq!(capture.instance_count(), 2);
+        assert_eq!(capture.event_count(), 5);
+        assert_eq!(capture.stats, stats);
+        assert_eq!(capture.session_nanos, 77);
+        // Calling again yields the same capture (state is preserved).
+        let again = recorder.capture(infos).expect("still stopped");
+        assert_eq!(
+            serde_json::to_string(&again.profiles).unwrap(),
+            serde_json::to_string(&capture.profiles).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_fanout_is_a_noop_tap() {
+        let mut fanout = TapFanout::default();
+        assert!(fanout.is_empty());
+        fanout.on_batch(InstanceId(0), &batch(0..1), 0);
+        fanout.on_stop(&CollectorStats::default(), 0);
+    }
+}

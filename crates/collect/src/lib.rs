@@ -18,6 +18,12 @@
 //! * When the [`Session`] is finished, the collector drains, joins, and the
 //!   per-instance [`dsspy_events::RuntimeProfile`]s are handed to
 //!   post-mortem analysis.
+//! * Live consumers subscribe to the collector's batch path through the
+//!   [`CollectorTap`] hook; a [`TapFanout`] multiplexes one session to many
+//!   subscribers (streaming analyzer, telemetry sampler, recorders) with
+//!   per-subscriber panic isolation — the substrate of the long-running
+//!   service surfaces (`dsspy watch --follow`, `dsspy telemetry serve
+//!   --live`).
 //!
 //! Timestamps combine a session-global atomic sequence number (total order)
 //! with wall-clock nanoseconds from a monotonic [`SessionClock`], and every
@@ -28,6 +34,7 @@
 
 pub mod clock;
 pub mod collector;
+pub mod fanout;
 pub mod persist;
 pub mod recorder;
 pub mod registry;
@@ -35,6 +42,7 @@ pub mod session;
 
 pub use clock::SessionClock;
 pub use collector::{Capture, CollectorStats, CollectorTap};
+pub use fanout::{CaptureRecorder, TapFanout};
 pub use persist::{
     load_capture, load_capture_with, read_capture, read_capture_with, save_capture,
     save_capture_with, write_capture, write_capture_with, PersistError, ReadOptions,

@@ -35,21 +35,33 @@ pub struct AnalysisConfig {
     #[serde(default = "AdvisoryConfig::default")]
     pub advisories: AdvisoryConfig,
     /// Worker threads for the per-instance analysis fan-out: `0` (the
-    /// default) resolves to [`dsspy_parallel::default_threads`], `1` runs
-    /// the plain sequential loop on the calling thread.
+    /// default) resolves to the `DSSPY_TEST_THREADS` environment variable
+    /// if set, else [`dsspy_parallel::default_threads`]; `1` runs the
+    /// plain sequential loop on the calling thread.
     #[serde(default)]
     pub threads: usize,
 }
 
 impl AnalysisConfig {
-    /// The worker count the analysis will actually use (`0` → one per
-    /// core).
+    /// The worker count the analysis will actually use.
+    ///
+    /// An explicit `threads` setting always wins. `0` defers first to the
+    /// `DSSPY_TEST_THREADS` environment variable — how the CI matrix pins
+    /// every default-width run in the suite to 1/2/4 workers without
+    /// touching call sites (the report is identical at any width, so this
+    /// only varies *how* it is computed) — and then to one worker per core.
     pub fn resolved_threads(&self) -> usize {
-        if self.threads == 0 {
-            dsspy_parallel::default_threads()
-        } else {
-            self.threads
+        if self.threads != 0 {
+            return self.threads;
         }
+        if let Some(n) = std::env::var("DSSPY_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        dsspy_parallel::default_threads()
     }
 }
 

@@ -538,6 +538,116 @@ impl std::fmt::Debug for StreamingAnalyzer {
     }
 }
 
+/// Counters and the final collector verdict a [`TelemetrySampler`] saw.
+#[derive(Default)]
+struct SamplerState {
+    events: u64,
+    batches: u64,
+    finished: Option<(CollectorStats, u64)>,
+}
+
+/// `stream.live.*` instruments, resolved once at construction.
+struct SamplerInstruments {
+    events: Counter,
+    batches: Counter,
+    queue_depth: Gauge,
+    queue_peak: Gauge,
+    last_batch_events: Gauge,
+    stopped: Gauge,
+}
+
+/// A lightweight [`CollectorTap`] subscriber that turns the collector's
+/// batch path into *live* telemetry for a scrape endpoint: per-batch
+/// `stream.live.events`/`stream.live.batches` counters, the queue depth
+/// observed behind each batch (`stream.live.queue_depth` and its peak), the
+/// size of the most recent batch, and a `stream.live.stopped` flag once the
+/// session drains.
+///
+/// Unlike the [`StreamingAnalyzer`] it keeps no per-instance state — it is
+/// the cheap subscriber a `dsspy telemetry serve --live` endpoint attaches
+/// alongside the analyzer, so Prometheus can watch a session's pulse even
+/// when re-classification is backed off. Clones share state; hand
+/// [`TelemetrySampler::tap`] to a
+/// [`TapFanout`](dsspy_collect::TapFanout).
+#[derive(Clone)]
+pub struct TelemetrySampler {
+    shared: Arc<Mutex<SamplerState>>,
+    ins: Arc<SamplerInstruments>,
+}
+
+impl TelemetrySampler {
+    /// A sampler publishing `stream.live.*` into `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> TelemetrySampler {
+        TelemetrySampler {
+            shared: Arc::new(Mutex::new(SamplerState::default())),
+            ins: Arc::new(SamplerInstruments {
+                events: telemetry.counter("stream.live.events"),
+                batches: telemetry.counter("stream.live.batches"),
+                queue_depth: telemetry.gauge("stream.live.queue_depth"),
+                queue_peak: telemetry.gauge("stream.live.queue_depth_peak"),
+                last_batch_events: telemetry.gauge("stream.live.last_batch_events"),
+                stopped: telemetry.gauge("stream.live.stopped"),
+            }),
+        }
+    }
+
+    /// The collector-thread subscription half.
+    pub fn tap(&self) -> Box<dyn CollectorTap> {
+        Box::new(SamplerTap {
+            shared: Arc::clone(&self.shared),
+            ins: Arc::clone(&self.ins),
+        })
+    }
+
+    /// Events and batches sampled so far.
+    pub fn seen(&self) -> (u64, u64) {
+        let s = self.shared.lock();
+        (s.events, s.batches)
+    }
+
+    /// The collector stats and session duration delivered at `on_stop` —
+    /// the sampler's final word on the session, which must agree with the
+    /// capture's own stats.
+    pub fn final_stats(&self) -> Option<(CollectorStats, u64)> {
+        self.shared.lock().finished
+    }
+}
+
+impl std::fmt::Debug for TelemetrySampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.shared.lock();
+        f.debug_struct("TelemetrySampler")
+            .field("events", &s.events)
+            .field("batches", &s.batches)
+            .field("stopped", &s.finished.is_some())
+            .finish()
+    }
+}
+
+struct SamplerTap {
+    shared: Arc<Mutex<SamplerState>>,
+    ins: Arc<SamplerInstruments>,
+}
+
+impl CollectorTap for SamplerTap {
+    fn on_batch(&mut self, _id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+        let mut s = self.shared.lock();
+        s.events += events.len() as u64;
+        s.batches += 1;
+        self.ins.events.add(events.len() as u64);
+        self.ins.batches.inc();
+        self.ins.queue_depth.set(queue_depth as u64);
+        self.ins.queue_peak.set_max(queue_depth as u64);
+        self.ins.last_batch_events.set(events.len() as u64);
+    }
+
+    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+        self.shared.lock().finished = Some((*stats, session_nanos));
+        self.ins.queue_depth.set(0);
+        self.ins.stopped.set(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +690,41 @@ mod tests {
         assert_eq!(instances_json(&live), instances_json(&post));
         assert_eq!(live.stats, post.stats);
         assert_eq!(live.session_nanos, post.session_nanos);
+    }
+
+    #[test]
+    fn sampler_publishes_live_signals_and_final_stats() {
+        let telemetry = Telemetry::enabled();
+        let sampler = TelemetrySampler::new(&telemetry);
+        let session = Session::with_tap(
+            SessionConfig {
+                batch_size: 32,
+                channel_capacity: None,
+            },
+            Telemetry::disabled(),
+            sampler.tap(),
+        );
+        run_workload(&session);
+        let capture = session.finish();
+
+        let (events, batches) = sampler.seen();
+        assert_eq!(events, capture.stats.events);
+        assert_eq!(batches, capture.stats.batches);
+        let (stats, nanos) = sampler.final_stats().expect("on_stop delivered");
+        assert_eq!(stats, capture.stats);
+        assert_eq!(nanos, capture.session_nanos);
+
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("stream.live.events"),
+            Some(capture.stats.events)
+        );
+        assert_eq!(
+            snap.counter("stream.live.batches"),
+            Some(capture.stats.batches)
+        );
+        assert_eq!(snap.gauge("stream.live.stopped"), Some(1));
+        assert_eq!(snap.gauge("stream.live.queue_depth"), Some(0));
     }
 
     #[test]

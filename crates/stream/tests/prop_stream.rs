@@ -12,7 +12,7 @@
 //!   the serialized instance reports (classifications, metrics, patterns,
 //!   advisories, recommended actions) once the session drains.
 
-use dsspy_collect::{Capture, CollectorStats, SessionConfig};
+use dsspy_collect::{Capture, CaptureRecorder, CollectorStats, Session, SessionConfig, TapFanout};
 use dsspy_core::Dsspy;
 use dsspy_events::{
     AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, InstanceInfo, RuntimeProfile,
@@ -148,6 +148,31 @@ fn synthetic_capture(per_instance: &[Vec<(AccessKind, Target, u32)>]) -> Capture
     )
 }
 
+/// Issue the resolved ops through live handles in their generated global
+/// order (no-op ops, e.g. delete on empty, were dropped by `resolve`).
+fn drive(session: &Session, ops: &[Op]) {
+    let mut handles: Vec<_> = (0..INSTANCES)
+        .map(|i| {
+            session.register(
+                AllocationSite::new("Prop", "live", i as u32),
+                DsKind::List,
+                "i64",
+            )
+        })
+        .collect();
+    let mut cursors = [0usize; INSTANCES];
+    let per_instance = resolve(ops);
+    for &(inst, _, _) in ops {
+        let i = cursors[inst];
+        if i >= per_instance[inst].len() {
+            continue;
+        }
+        let (kind, target, len) = per_instance[inst][i];
+        handles[inst].record(kind, target, len);
+        cursors[inst] += 1;
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -186,33 +211,7 @@ proptest! {
         .with_threads(1);
         let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
         let session = streaming.attach();
-        {
-            let mut handles: Vec<_> = (0..INSTANCES)
-                .map(|i| {
-                    session.register(
-                        AllocationSite::new("Prop", "live", i as u32),
-                        DsKind::List,
-                        "i64",
-                    )
-                })
-                .collect();
-            // Replay the resolved ops in their global order, as the
-            // generated program would have issued them.
-            let mut cursors = [0usize; INSTANCES];
-            let per_instance = resolve(&ops);
-            for &(inst, _, _) in &ops {
-                // Each generated op for an instance issues that instance's
-                // next kept op (no-op ops, e.g. delete on empty, were
-                // dropped by `resolve`, so cursors can run out early).
-                let i = cursors[inst];
-                if i >= per_instance[inst].len() {
-                    continue;
-                }
-                let (kind, target, len) = per_instance[inst][i];
-                handles[inst].record(kind, target, len);
-                cursors[inst] += 1;
-            }
-        }
+        drive(&session, &ops);
         let capture = session.finish();
         let live = streaming.latest_report().expect("final snapshot");
         let post = dsspy.analyze_capture(&capture);
@@ -222,5 +221,62 @@ proptest! {
         );
         prop_assert_eq!(live.stats, post.stats);
         prop_assert_eq!(live.session_nanos, post.session_nanos);
+    }
+
+    /// The fan-out convergence property behind `--live`/`--follow`: with K
+    /// analyzers and a capture recorder multiplexed onto one session, every
+    /// analyzer's final report — and the post-mortem analysis of the
+    /// recorder's rebuilt capture — serializes byte-for-byte like
+    /// `analyze_capture` of the session's own capture, for any subscriber
+    /// count and batch size.
+    #[test]
+    fn every_fanout_subscriber_equals_post_mortem(
+        ops in arb_ops(),
+        batch_size in 1usize..64,
+        subscribers in 1usize..5,
+    ) {
+        let dsspy = Dsspy {
+            session: SessionConfig { batch_size, channel_capacity: None },
+            ..Dsspy::new()
+        }
+        .with_threads(1);
+        let analyzers: Vec<StreamingAnalyzer> = (0..subscribers)
+            .map(|_| StreamingAnalyzer::new(dsspy, StreamConfig::default()))
+            .collect();
+        let recorder = CaptureRecorder::new();
+        let mut fanout = TapFanout::new();
+        for (i, a) in analyzers.iter().enumerate() {
+            fanout.subscribe(&format!("analyzer{i}"), a.tap());
+        }
+        fanout.subscribe("recorder", recorder.tap());
+        let session = Session::with_tap(
+            dsspy.session,
+            dsspy_telemetry::Telemetry::disabled(),
+            Box::new(fanout),
+        );
+        for a in &analyzers {
+            a.bind_registry(session.registry_handle());
+        }
+        drive(&session, &ops);
+        let capture = session.finish();
+        let post = dsspy.analyze_capture(&capture);
+        let post_instances = serde_json::to_string(&post.instances).unwrap();
+        for a in &analyzers {
+            let live = a.latest_report().expect("final snapshot");
+            prop_assert_eq!(
+                &serde_json::to_string(&live.instances).unwrap(),
+                &post_instances
+            );
+            prop_assert_eq!(live.stats, post.stats);
+            prop_assert_eq!(live.session_nanos, post.session_nanos);
+        }
+        let infos: Vec<_> = capture.profiles.iter().map(|p| p.instance.clone()).collect();
+        let rebuilt = recorder.capture(infos).expect("on_stop delivered");
+        let re_analyzed = dsspy.analyze_capture(&rebuilt);
+        prop_assert_eq!(
+            &serde_json::to_string(&re_analyzed.instances).unwrap(),
+            &post_instances
+        );
+        prop_assert_eq!(re_analyzed.stats, post.stats);
     }
 }

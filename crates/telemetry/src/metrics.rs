@@ -123,22 +123,37 @@ impl HistogramCell {
     }
 
     fn snapshot(&self, name: &str) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
+        // Snapshots may race live `record` calls (a Prometheus scrape of a
+        // running session reads while the collector thread writes). `record`
+        // bumps `count` before the bucket, so loading `count` separately can
+        // observe a bucket total that exceeds it — a torn view whose text
+        // exposition (+Inf from `count`, cumulative buckets from `buckets`)
+        // fails validation. Deriving `count` from the buckets themselves
+        // keeps every snapshot internally consistent at any instant; after
+        // quiescence the two counts are equal anyway.
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let min = if count == 0 {
+            0
+        } else {
+            // A racing first record may have bumped its bucket before its
+            // `fetch_min` is visible; clamping to `max` keeps the u64::MAX
+            // sentinel from surfacing as a real observation.
+            self.min
+                .load(Ordering::Relaxed)
+                .min(self.max.load(Ordering::Relaxed))
+        };
         HistogramSnapshot {
             name: name.to_string(),
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
+            min,
             max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            buckets,
         }
     }
 }
@@ -366,6 +381,41 @@ mod tests {
         assert_eq!(snap.min, 0);
         assert_eq!(snap.max, 0);
         assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_racing_records_stays_internally_consistent() {
+        // A live scrape reads the histogram while another thread records
+        // into it. Every observed snapshot must satisfy the invariants the
+        // Prometheus renderer + validator rely on: count == sum(buckets)
+        // and min <= max. (Before the buckets-first read this failed:
+        // `count` could lag the bucket total mid-record.)
+        use std::sync::atomic::AtomicBool;
+        let cell = Arc::new(HistogramCell::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    cell.record(i % 4096);
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        while !done.load(Ordering::Acquire) {
+            let snap = cell.snapshot("race");
+            assert_eq!(
+                snap.buckets.iter().sum::<u64>(),
+                snap.count,
+                "torn snapshot: bucket total diverged from count"
+            );
+            assert!(snap.min <= snap.max, "min {} > max {}", snap.min, snap.max);
+        }
+        writer.join().unwrap();
+        let settled = cell.snapshot("race");
+        assert_eq!(settled.count, 200_000);
+        assert_eq!(settled.buckets.iter().sum::<u64>(), 200_000);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 gate plus the matrix tier-1 cannot see.
+#
+#   full        scripts/tier1.sh, then the whole test suite re-run at
+#               DSSPY_TEST_THREADS=1/2/4 in debug AND release (the report
+#               must be identical at every analysis width — this varies how
+#               it is computed, never what comes out), then explicit
+#               --threads CLI runs, the live-scrape smoke
+#               (`telemetry serve --live --self-check`) and the follow
+#               smoke (`watch --follow`), then every Criterion bench once.
+#   matrix      only the 2x3 debug/release x threads test matrix.
+#   bench-smoke only the Criterion benches, one pass each (`-- --test`).
+#
+# Everything runs against the vendored in-tree dependencies; no network.
+# A machine-readable summary (schema: DESIGN.md, "ci-summary.json") is
+# written to --out; the exit code is 0 iff every cell passed.
+#
+#   scripts/ci.sh [--mode full|matrix|bench-smoke] [--out PATH]
+set -uo pipefail # deliberately not -e: later cells still run after a failure
+cd "$(dirname "$0")/.."
+
+MODE="full"
+OUT="ci-summary.json"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --mode)
+        MODE="${2:?--mode needs a value}"
+        shift 2
+        ;;
+    --out)
+        OUT="${2:?--out needs a value}"
+        shift 2
+        ;;
+    *)
+        echo "usage: scripts/ci.sh [--mode full|matrix|bench-smoke] [--out PATH]" >&2
+        exit 2
+        ;;
+    esac
+done
+case "$MODE" in full | matrix | bench-smoke) ;; *)
+    echo "ci: unknown mode '$MODE'" >&2
+    exit 2
+    ;;
+esac
+
+CELLS_FILE="$(mktemp)"
+LOG_DIR="$(mktemp -d)"
+trap 'rm -rf "$CELLS_FILE" "$LOG_DIR"' EXIT
+OVERALL=0
+STARTED="$(date +%s)"
+
+# One line, JSON-string-safe: escape backslashes and quotes, flatten
+# newlines/tabs/CRs.
+json_escape() {
+    tr '\n\r\t' '   ' | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g'
+}
+
+# run_cell NAME EXTRA_JSON_FIELDS CMD...
+# Runs CMD, captures its output, appends one JSON object (one per line) to
+# CELLS_FILE: {"name":..., EXTRA, "ok":..., "seconds":..., "last_line":...}.
+run_cell() {
+    local name="$1" extra="$2"
+    shift 2
+    local log="$LOG_DIR/cell-$name.log" t0 t1 ok last
+    echo "==> [$name] $*"
+    t0="$(date +%s)"
+    if "$@" >"$log" 2>&1; then
+        ok=true
+    else
+        ok=false
+        OVERALL=1
+        echo "ci: cell '$name' FAILED; last lines:" >&2
+        tail -n 20 "$log" >&2
+    fi
+    t1="$(date +%s)"
+    last="$(tail -n 1 "$log" | json_escape)"
+    printf '{"name":"%s",%s"ok":%s,"seconds":%s,"last_line":"%s"}\n' \
+        "$name" "$extra" "$ok" "$((t1 - t0))" "$last" >>"$CELLS_FILE"
+}
+
+if [[ "$MODE" == "full" ]]; then
+    run_cell tier1 '"kind":"gate",' ./scripts/tier1.sh
+fi
+
+if [[ "$MODE" == "full" || "$MODE" == "matrix" ]]; then
+    # The library-level matrix: DSSPY_TEST_THREADS pins every default-width
+    # analysis in the suite to N workers (crates/core resolved_threads).
+    for profile in debug release; do
+        for t in 1 2 4; do
+            extra="$(printf '"kind":"test","profile":"%s","threads":%s,' "$profile" "$t")"
+            if [[ "$profile" == release ]]; then
+                run_cell "test-$profile-threads$t" "$extra" \
+                    env DSSPY_TEST_THREADS="$t" cargo test -q --release
+            else
+                run_cell "test-$profile-threads$t" "$extra" \
+                    env DSSPY_TEST_THREADS="$t" cargo test -q
+            fi
+        done
+    done
+fi
+
+if [[ "$MODE" == "full" ]]; then
+    # CLI-level matrix + live smokes against the release binary tier1 built.
+    SMOKE="$LOG_DIR/ci-smoke.dsspycap"
+    run_cell demo-capture '"kind":"smoke",' ./target/release/dsspy demo "$SMOKE"
+    for t in 1 2 4; do
+        run_cell "analyze-threads$t" \
+            "$(printf '"kind":"smoke","threads":%s,' "$t")" \
+            ./target/release/dsspy analyze "$SMOKE" --threads "$t"
+    done
+    # The scrape endpoint attached to a *running* session: re-collects the
+    # capture live, serves a fresh validated exposition per scrape, scrapes
+    # itself over TCP, and fails unless all three fan-out subscribers
+    # converge with the post-mortem analysis.
+    run_cell live-scrape-smoke '"kind":"smoke",' \
+        ./target/release/dsspy telemetry serve "$SMOKE" --live \
+        --addr 127.0.0.1:0 --requests 1 --self-check
+    # Follow a live workload session through the same fan-out.
+    run_cell watch-follow-smoke '"kind":"smoke",' \
+        ./target/release/dsspy watch --follow --frames 3
+fi
+
+if [[ "$MODE" == "full" || "$MODE" == "bench-smoke" ]]; then
+    # One correctness pass over every Criterion bench (no timing window).
+    benches="$(grep -A1 '^\[\[bench\]\]' crates/bench/Cargo.toml |
+        sed -n 's/^name = "\(.*\)"/\1/p')"
+    for bench in $benches; do
+        run_cell "bench-smoke-$bench" '"kind":"bench",' \
+            cargo bench -p dsspy-bench --bench "$bench" -- --test
+    done
+fi
+
+FINISHED="$(date +%s)"
+VERSION="$(sed -n 's/^version = "\(.*\)"$/\1/p' Cargo.toml | head -n 1)"
+OK_JSON=$([[ "$OVERALL" -eq 0 ]] && echo true || echo false)
+{
+    printf '{\n'
+    printf '  "schema": "dsspy-ci-summary/1",\n'
+    printf '  "dsspy_version": "%s",\n' "$VERSION"
+    printf '  "mode": "%s",\n' "$MODE"
+    printf '  "started_unix": %s,\n' "$STARTED"
+    printf '  "finished_unix": %s,\n' "$FINISHED"
+    printf '  "ok": %s,\n' "$OK_JSON"
+    printf '  "cells": [\n'
+    sed -e 's/^/    /' -e '$!s/$/,/' "$CELLS_FILE"
+    printf '  ]\n'
+    printf '}\n'
+} >"$OUT"
+
+echo "ci: mode=$MODE ok=$OK_JSON summary=$OUT"
+exit "$OVERALL"

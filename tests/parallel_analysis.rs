@@ -31,13 +31,53 @@ fn capture_with(shapes: &[(u16, bool)]) -> Capture {
     session.finish()
 }
 
+/// `DSSPY_TEST_THREADS` is process-global: every test that reads or writes
+/// it serializes on this lock so one test's mutation can't race another's
+/// read.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn restore_env(saved: Option<String>) {
+    match saved {
+        Some(v) => std::env::set_var("DSSPY_TEST_THREADS", v),
+        None => std::env::remove_var("DSSPY_TEST_THREADS"),
+    }
+}
+
 #[test]
 fn zero_threads_resolves_to_default_threads() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved = std::env::var("DSSPY_TEST_THREADS").ok();
+    std::env::remove_var("DSSPY_TEST_THREADS");
     let config = AnalysisConfig::default();
     assert_eq!(config.threads, 0, "parallel analysis is the default");
     assert_eq!(config.resolved_threads(), default_threads());
     let pinned = Dsspy::new().with_threads(3);
     assert_eq!(pinned.analysis.resolved_threads(), 3);
+    restore_env(saved);
+}
+
+#[test]
+fn dsspy_test_threads_env_pins_default_width_runs() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved = std::env::var("DSSPY_TEST_THREADS").ok();
+    std::env::set_var("DSSPY_TEST_THREADS", "3");
+    assert_eq!(AnalysisConfig::default().resolved_threads(), 3);
+    assert_eq!(
+        Dsspy::new().with_threads(2).analysis.resolved_threads(),
+        2,
+        "an explicit width beats the environment"
+    );
+    std::env::set_var("DSSPY_TEST_THREADS", "not-a-width");
+    assert_eq!(
+        AnalysisConfig::default().resolved_threads(),
+        default_threads()
+    );
+    std::env::set_var("DSSPY_TEST_THREADS", "0");
+    assert_eq!(
+        AnalysisConfig::default().resolved_threads(),
+        default_threads()
+    );
+    restore_env(saved);
 }
 
 #[test]

@@ -5,9 +5,10 @@
 //! matching recommended actions — and a long session must keep the
 //! streaming window within its configured bound.
 
-use dsspy::collect::{Session, SessionConfig};
+use dsspy::collect::{CaptureRecorder, Session, SessionConfig, TapFanout};
 use dsspy::core::Dsspy;
-use dsspy::stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer};
+use dsspy::stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer, TelemetrySampler};
+use dsspy::telemetry::Telemetry;
 use dsspy_workloads::{suite7, Mode, Scale};
 
 fn instances_json(instances: &[dsspy::core::InstanceReport]) -> String {
@@ -56,6 +57,74 @@ fn every_suite7_workload_streams_to_the_post_mortem_verdicts() {
         );
         assert_eq!(live.stats, post.stats, "{}", w.spec().name);
         assert_eq!(live.session_nanos, post.session_nanos, "{}", w.spec().name);
+    }
+}
+
+#[test]
+fn fanout_session_feeds_analyzer_sampler_and_recorder_identically() {
+    // The `--live`/`--follow` wiring: one suite7 session multiplexed to the
+    // three production subscriber kinds. Each must independently agree with
+    // the post-mortem analysis of the drained capture.
+    let dsspy = Dsspy::new().with_threads(1);
+    let telemetry = Telemetry::enabled();
+    let suite = suite7();
+    let w = &suite[6]; // WordWheelSolver, the demo default
+
+    let streaming = StreamingAnalyzer::new(dsspy, StreamConfig::default());
+    let sampler = TelemetrySampler::new(&telemetry);
+    let recorder = CaptureRecorder::new();
+    let fanout = TapFanout::with_telemetry(telemetry.clone())
+        .with_subscriber("analyzer", streaming.tap())
+        .with_subscriber("sampler", sampler.tap())
+        .with_subscriber("recorder", recorder.tap());
+    let session = Session::with_tap(dsspy.session, telemetry.clone(), Box::new(fanout));
+    streaming.bind_registry(session.registry_handle());
+    w.run(Scale::Test, Mode::Instrumented(&session));
+    let capture = session.finish();
+    let post = dsspy.analyze_capture(&capture);
+
+    // Subscriber 1 — the streaming analyzer's verdicts.
+    let live = streaming.latest_report().expect("final snapshot");
+    assert_eq!(
+        instances_json(&live.instances),
+        instances_json(&post.instances)
+    );
+    assert_eq!(live.stats, post.stats);
+    assert_eq!(live.session_nanos, post.session_nanos);
+
+    // Subscriber 2 — the sampler's final word matches the capture's stats.
+    let (events, batches) = sampler.seen();
+    assert_eq!(events, capture.stats.events);
+    assert_eq!(batches, capture.stats.batches);
+    let (stats, nanos) = sampler.final_stats().expect("on_stop delivered");
+    assert_eq!(stats, capture.stats);
+    assert_eq!(nanos, capture.session_nanos);
+
+    // Subscriber 3 — the recorder rebuilds a capture that analyzes to the
+    // same report.
+    let infos: Vec<_> = capture
+        .profiles
+        .iter()
+        .map(|p| p.instance.clone())
+        .collect();
+    let rebuilt = recorder.capture(infos).expect("on_stop delivered");
+    let re_analyzed = dsspy.analyze_capture(&rebuilt);
+    assert_eq!(
+        instances_json(&re_analyzed.instances),
+        instances_json(&post.instances)
+    );
+    assert_eq!(re_analyzed.stats, post.stats);
+
+    // And the fanout's own telemetry saw three healthy subscribers.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.gauge("stream.tap.subscribers"), Some(3));
+    assert_eq!(snap.counter("stream.tap.panics"), Some(0));
+    for label in ["analyzer", "sampler", "recorder"] {
+        assert_eq!(
+            snap.counter(&format!("stream.tap.{label}.batches")),
+            Some(capture.stats.batches),
+            "{label} missed batches"
+        );
     }
 }
 

@@ -7,6 +7,11 @@
 //! timed over enough iterations to fill a fixed measurement window, and the
 //! mean ns/iter (plus derived throughput) is printed to stdout. No
 //! statistics, plotting, or baseline comparison.
+//!
+//! Like the real crate, `cargo bench ... -- --test` switches to test mode:
+//! every benchmark closure runs exactly once (correctness smoke, no
+//! timing window), printing `test <id> ... ok` per bench — what CI's
+//! bench-smoke job runs.
 
 use std::time::{Duration, Instant};
 
@@ -61,15 +66,21 @@ impl From<String> for BenchmarkId {
 /// Times the closure handed to it by a benchmark function.
 pub struct Bencher {
     mean_nanos: f64,
+    test_only: bool,
 }
 
 impl Bencher {
     /// Run `f` repeatedly and record the mean wall-clock time per call.
+    /// In `--test` mode the single warm-up call is the whole run.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         // Warm-up: one call, also an estimate of per-iteration cost.
         let start = Instant::now();
         black_box(f());
         let first = start.elapsed();
+        if self.test_only {
+            self.mean_nanos = first.as_nanos() as f64;
+            return;
+        }
 
         // Measure for a fixed window, bounded iteration count.
         let window = Duration::from_millis(200);
@@ -111,7 +122,10 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
-        let mut bencher = Bencher { mean_nanos: 0.0 };
+        let mut bencher = Bencher {
+            mean_nanos: 0.0,
+            test_only: self.criterion.test_mode,
+        };
         f(&mut bencher);
         self.report(&id, bencher.mean_nanos);
         self
@@ -125,7 +139,10 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let id = id.into();
-        let mut bencher = Bencher { mean_nanos: 0.0 };
+        let mut bencher = Bencher {
+            mean_nanos: 0.0,
+            test_only: self.criterion.test_mode,
+        };
         f(&mut bencher, input);
         self.report(&id, bencher.mean_nanos);
         self
@@ -136,6 +153,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn report(&mut self, id: &BenchmarkId, mean_nanos: f64) {
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok", self.name, id.id);
+            self.criterion.benches_run += 1;
+            return;
+        }
         let rate = match self.throughput {
             Some(Throughput::Bytes(n)) => {
                 let gib = n as f64 / mean_nanos; // bytes/ns == GiB-ish/s
@@ -156,9 +178,20 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark harness handle.
-#[derive(Default)]
 pub struct Criterion {
     benches_run: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            benches_run: 0,
+            // `cargo bench ... -- --test` forwards the flag to the bench
+            // binary, same contract as the real criterion.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -216,7 +249,20 @@ mod tests {
 
     #[test]
     fn harness_runs_and_counts() {
-        let mut criterion = Criterion::default();
+        let mut criterion = Criterion {
+            benches_run: 0,
+            test_mode: false,
+        };
+        sample_bench(&mut criterion);
+        assert_eq!(criterion.benches_run, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut criterion = Criterion {
+            benches_run: 0,
+            test_mode: true,
+        };
         sample_bench(&mut criterion);
         assert_eq!(criterion.benches_run, 2);
     }
