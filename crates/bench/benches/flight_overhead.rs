@@ -1,0 +1,79 @@
+//! Flight-recorder cost benches: what causal tracing adds to collection.
+//!
+//! The acceptance bar mirrors `streaming_overhead`: the *recorder-disabled*
+//! path — a plain session built through `Session::builder()` with the
+//! default disabled [`FlightRecorder`] handle — must track the pre-recorder
+//! collector throughput (`stream/session/tap_disabled`) within noise, since
+//! the disabled handle is one branch on a pointer-sized option per edge.
+//! `recorder_enabled` then shows the ring's real price on the collector
+//! thread (a mutex push per batch receipt), and `recorder_enabled_fanout`
+//! the full live price with the tap dispatch edges recorded too.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsspy_collect::{Session, TapFanout};
+use dsspy_collections::{site, SpyVec};
+use dsspy_core::Dsspy;
+use dsspy_stream::{StreamConfig, StreamingAnalyzer};
+use dsspy_telemetry::{FlightConfig, FlightRecorder};
+
+fn fill(session: &Session, n: u64) -> u64 {
+    let mut v = SpyVec::register_with_capacity(session, site!("bench"), n as usize);
+    for i in 0..n {
+        v.add(i);
+    }
+    drop(v);
+    n
+}
+
+fn bench_flight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight/session");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    // Pin: identical to stream/session/tap_disabled — the recorder's
+    // disabled handle must not move collector throughput.
+    group.bench_function("recorder_disabled", |b| {
+        b.iter(|| {
+            let session = Session::builder().start();
+            fill(&session, n);
+            std::hint::black_box(session.finish().event_count())
+        })
+    });
+
+    // The ring alone: every batch receipt recorded, no tap installed.
+    group.bench_function("recorder_enabled", |b| {
+        b.iter(|| {
+            let flight = FlightRecorder::new(FlightConfig::default());
+            let session = Session::builder().flight(flight.clone()).start();
+            fill(&session, n);
+            let count = session.finish().event_count();
+            std::hint::black_box((count, flight.dump().events.len()))
+        })
+    });
+
+    // The full live picture: ring + streaming analyzer behind a fan-out,
+    // every dispatch edge recorded.
+    group.bench_function("recorder_enabled_fanout", |b| {
+        b.iter(|| {
+            let flight = FlightRecorder::new(FlightConfig::default());
+            let streaming =
+                StreamingAnalyzer::new(Dsspy::new().with_threads(1), StreamConfig::default())
+                    .with_flight(flight.clone());
+            let fanout = TapFanout::new()
+                .with_flight(flight.clone())
+                .with_subscriber("analyzer", streaming.tap());
+            let session = Session::builder()
+                .flight(flight.clone())
+                .tap(Box::new(fanout))
+                .start();
+            streaming.bind_registry(session.registry_handle());
+            fill(&session, n);
+            let count = session.finish().event_count();
+            std::hint::black_box((count, flight.dump().events.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flight);
+criterion_main!(benches);

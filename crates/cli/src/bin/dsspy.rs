@@ -3,8 +3,9 @@
 use std::path::{Path, PathBuf};
 
 use dsspy_cli::{
-    cmd_analyze, cmd_chart, cmd_csv, cmd_demo, cmd_diff, cmd_report, cmd_sketch, cmd_telemetry,
-    cmd_telemetry_serve, cmd_telemetry_serve_live, cmd_timeline, cmd_watch, cmd_watch_follow,
+    cmd_analyze, cmd_chart, cmd_csv, cmd_demo, cmd_diff, cmd_doctor, cmd_report, cmd_sketch,
+    cmd_telemetry, cmd_telemetry_serve, cmd_telemetry_serve_live, cmd_timeline, cmd_watch,
+    cmd_watch_follow,
 };
 
 fn usage() -> ! {
@@ -17,20 +18,28 @@ fn usage() -> ! {
          dsspy report   <capture> --out <report.html> [--threads N] [--telemetry PATH]\n  \
          dsspy csv      <capture> <instances|usecases>\n  \
          dsspy telemetry <capture> [--threads N] [--format summary|json|prometheus|trace] [--check]\n  \
-         dsspy telemetry serve <capture> [--live] [--addr HOST:PORT] [--requests N] [--self-check] [--threads N]\n  \
-         dsspy demo     <out.dsspycap> [--workload NAME] [--live]\n  \
+         dsspy telemetry serve <capture> [--live] [--addr HOST:PORT] [--requests N] [--self-check] [--threads N] [--flight-recorder PATH]\n  \
+         dsspy demo     <out.dsspycap> [--workload NAME] [--live] [--flight-recorder PATH] [--inject-panic]\n  \
          dsspy watch    <capture> [--batch N] [--window N] [--every N] [--frames N]\n  \
-         dsspy watch    --follow [--workload NAME] [--batch N] [--window N] [--every N] [--frames N]\n\
+         dsspy watch    --follow [--workload NAME] [--batch N] [--window N] [--every N] [--frames N] [--flight-recorder PATH]\n  \
+         dsspy doctor   <flight-dump.json|capture> [--events N] [--trace PATH]\n\
          \n--threads: analysis workers (0 = one per core, 1 = sequential)\n\
          --telemetry PATH: self-observe the run; write the snapshot to PATH as JSON\n\
          --live: stream the demo session through the collector tap while it runs\n\
+         --flight-recorder PATH: arm a causal flight recorder on the live session;\n\
+         \u{20}      incidents (subscriber panic, drops, queue watermark) auto-dump to PATH\n\
+         --inject-panic: (demo --live) add a deliberately faulty fan-out subscriber\n\
          watch: --batch events per replayed batch, --window retained events per instance,\n\
          \u{20}       --every snapshot cadence in batches, --frames max frames printed;\n\
          \u{20}       --follow runs a suite7 workload live and follows its fan-out tap\n\
          serve: --addr listen address (port 0 = ephemeral), --requests scrapes before exit\n\
          \u{20}      (default: forever), --self-check scrape yourself and validate;\n\
          \u{20}      --live re-collects the capture in real time and serves a fresh\n\
-         \u{20}      snapshot of the running session per scrape"
+         \u{20}      snapshot of the running session per scrape\n\
+         doctor: reads a flight dump (or re-collects a capture under a fresh\n\
+         \u{20}       recorder), prints the causal timeline, per-subscriber lag and\n\
+         \u{20}       incident report; exits 1 if any incident was recorded.\n\
+         \u{20}       --events N timeline tail length, --trace PATH Chrome trace_event JSON"
     );
     std::process::exit(2)
 }
@@ -69,6 +78,9 @@ fn main() {
                         | "--window"
                         | "--every"
                         | "--frames"
+                        | "--flight-recorder"
+                        | "--events"
+                        | "--trace"
                 )
         })
         .collect();
@@ -79,6 +91,7 @@ fn main() {
     let threads: usize = value("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
     let svg: Option<PathBuf> = value("--svg").map(PathBuf::from);
     let telemetry_out: Option<PathBuf> = value("--telemetry").map(PathBuf::from);
+    let flight_recorder: Option<PathBuf> = value("--flight-recorder").map(PathBuf::from);
 
     let result = match command.as_str() {
         "analyze" => {
@@ -149,6 +162,7 @@ fn main() {
                         &addr,
                         requests,
                         flag("--self-check"),
+                        flight_recorder.as_deref(),
                     )
                 } else {
                     cmd_telemetry_serve(
@@ -175,7 +189,26 @@ fn main() {
                 Path::new(out),
                 value("--workload").as_deref(),
                 flag("--live"),
+                flight_recorder.as_deref(),
+                flag("--inject-panic"),
             )
+        }
+        "doctor" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let events: usize = value("--events").and_then(|v| v.parse().ok()).unwrap_or(48);
+            let trace: Option<PathBuf> = value("--trace").map(PathBuf::from);
+            match cmd_doctor(Path::new(path), events, trace.as_deref()) {
+                Ok((out, incidents)) => {
+                    println!("{out}");
+                    std::process::exit(if incidents > 0 { 1 } else { 0 });
+                }
+                Err(e) => {
+                    eprintln!("dsspy: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "watch" => {
             let batch: usize = value("--batch").and_then(|v| v.parse().ok()).unwrap_or(512);
@@ -185,7 +218,14 @@ fn main() {
             let every: u64 = value("--every").and_then(|v| v.parse().ok()).unwrap_or(4);
             let frames: usize = value("--frames").and_then(|v| v.parse().ok()).unwrap_or(12);
             if flag("--follow") {
-                cmd_watch_follow(value("--workload").as_deref(), batch, window, every, frames)
+                cmd_watch_follow(
+                    value("--workload").as_deref(),
+                    batch,
+                    window,
+                    every,
+                    frames,
+                    flight_recorder.as_deref(),
+                )
             } else {
                 let Some(path) = positional.first() else {
                     usage()

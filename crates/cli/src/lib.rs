@@ -14,9 +14,10 @@
 //! dsspy report   capture.dsspycap --out report.html [--threads N] [--telemetry t.json]
 //! dsspy telemetry capture.dsspycap [--format summary|json|prometheus|trace] [--check]
 //! dsspy telemetry serve capture.dsspycap [--live] --addr 127.0.0.1:9464 [--requests N] [--self-check]
-//! dsspy demo     out.dsspycap [--workload NAME] [--live]
+//! dsspy demo     out.dsspycap [--workload NAME] [--live] [--flight-recorder PATH] [--inject-panic]
 //! dsspy watch    capture.dsspycap [--batch N] [--window N] [--every N] [--frames N]
-//! dsspy watch    --follow [--workload NAME] [--batch N] [--window N] [--every N] [--frames N]
+//! dsspy watch    --follow [--workload NAME] [...] [--flight-recorder PATH]
+//! dsspy doctor   <flight-dump.json|capture.dsspycap> [--events N] [--trace out.json]
 //! ```
 //!
 //! `dsspy watch` replays a capture through `dsspy-stream`'s
@@ -36,6 +37,15 @@
 //! full pipeline (`0` = one worker per core, `1` = sequential); the output
 //! is identical for every value.
 //!
+//! `--flight-recorder PATH` arms a [`dsspy_telemetry::FlightRecorder`] on
+//! the live-session commands: a fixed-capacity causal ring of structured
+//! pipeline events (batch receipts, fan-out dispatches, snapshots, drops,
+//! panics, queue-watermark crossings), auto-dumped to `PATH` on every
+//! incident and flushed once more when the session finishes. `dsspy doctor`
+//! reads a dump back (or re-collects a capture under a fresh recorder) and
+//! renders the causal timeline, per-subscriber lag and incident report,
+//! exiting non-zero when incidents were recorded.
+//!
 //! `--telemetry PATH` runs the same pipeline under an enabled
 //! [`dsspy_telemetry::Telemetry`] and writes the resulting snapshot —
 //! decode volume, per-instance analysis spans, Table IV-style overhead
@@ -47,16 +57,21 @@
 //! spawning processes; the binary is a thin argv switch.
 
 use dsspy_collect::{
-    load_capture, load_capture_with, save_capture_with, Capture, CaptureRecorder, PersistError,
-    ReadOptions, Session, SessionConfig, TapFanout,
+    load_capture, load_capture_with, save_capture_with, Capture, CaptureRecorder, CollectorStats,
+    CollectorTap, PersistError, ReadOptions, Session, SessionConfig, TapFanout,
 };
 use dsspy_core::{diff_reports, instances_csv, sketches, use_cases_csv, Dsspy, Report};
-use dsspy_events::Origin;
+use dsspy_events::{AccessEvent, InstanceId, Origin};
 use dsspy_patterns::{analyze, segment_phases, MinerConfig, PhaseConfig};
 use dsspy_stream::{SnapshotPolicy, StreamConfig, StreamingAnalyzer, TelemetrySampler};
-use dsspy_telemetry::{export, OverheadReport, Telemetry};
+use dsspy_telemetry::{
+    export, FlightConfig, FlightDump, FlightRecorder, OverheadReport, Telemetry, TraceContext,
+};
 use dsspy_viz::html_report;
-use dsspy_viz::{profile_chart_svg, profile_chart_text, timeline_svg, timeline_text, ChartConfig};
+use dsspy_viz::{
+    flight_incidents_text, flight_lag_text, flight_timeline_text, profile_chart_svg,
+    profile_chart_text, timeline_svg, timeline_text, ChartConfig,
+};
 use dsspy_workloads::{suite7, Mode, Scale};
 use std::path::Path;
 
@@ -315,59 +330,86 @@ pub fn cmd_telemetry(
 /// test scale and save the capture — a self-contained way to produce input
 /// for every other command (and for the tier-1 smoke test).
 ///
-/// With `live`, the session additionally feeds a
-/// [`StreamingAnalyzer`] through the collector tap while the workload runs,
-/// and the command verifies on exit that the streamed verdicts equal the
-/// post-mortem analysis of the very capture it just saved.
-pub fn cmd_demo(out: &Path, workload: Option<&str>, live: bool) -> Result<String, CliError> {
+/// With `live`, the session additionally feeds the full [`TapFanout`] trio
+/// (streaming analyzer + telemetry sampler + capture recorder) while the
+/// workload runs, and the command verifies on exit that the streamed
+/// verdicts equal the post-mortem analysis of the very capture it just
+/// saved.
+///
+/// `flight_out` arms a [`FlightRecorder`] on the session (auto-dumping to
+/// the path on incident, flushed once more at finish); `inject_panic` adds
+/// a fourth, deliberately faulty subscriber to the live fan-out so the
+/// recorder has a real `subscriber-panic` incident to capture — the demo
+/// input for `dsspy doctor`.
+pub fn cmd_demo(
+    out: &Path,
+    workload: Option<&str>,
+    live: bool,
+    flight_out: Option<&Path>,
+    inject_panic: bool,
+) -> Result<String, CliError> {
+    if inject_panic && !live {
+        return Err(CliError::Stream(
+            "--inject-panic needs a live fan-out to poison (add --live)".into(),
+        ));
+    }
     let suite = suite7();
     let w = &suite[find_workload(workload)?];
     // Record under an observed session so the capture carries collection-time
     // telemetry (collector histograms, queue pressure) into offline analysis.
     let telemetry = Telemetry::enabled();
-    let streaming = live.then(|| {
-        StreamingAnalyzer::with_telemetry(
+    let flight = flight_for(flight_out, &telemetry);
+    if live {
+        let LiveRig {
+            streaming, session, ..
+        } = live_rig(
             Dsspy::new().with_threads(1),
             StreamConfig::default(),
-            telemetry.clone(),
-        )
-    });
-    let session = match &streaming {
-        Some(s) => s.attach(),
-        None => Session::with_telemetry(Default::default(), telemetry.clone()),
-    };
-    w.run(Scale::Test, Mode::Instrumented(&session));
-    let capture = session.finish();
-    let instances = capture.profiles.len();
-    let events: u64 = capture.profiles.iter().map(|p| p.events.len() as u64).sum();
-    save_capture_with(&capture, out, &telemetry)?;
-    let mut msg = format!(
-        "wrote {} ({} instances, {events} events) from workload {}",
-        out.display(),
-        instances,
-        w.spec().name
-    );
-    if let Some(streaming) = streaming {
+            &telemetry,
+            &flight,
+            inject_panic,
+        );
+        w.run(Scale::Test, Mode::Instrumented(&session));
+        let capture = session.finish();
         let stats = streaming.stats();
         let live_report = streaming
             .latest_report()
             .ok_or_else(|| CliError::Stream("session ended without a snapshot".into()))?;
         let post = Dsspy::new().with_threads(1).analyze_capture(&capture);
-        let converged = instances_match(&live_report, &post)?;
-        msg.push_str(&format!(
-            "; live stream folded {} events in {} batches into {} snapshot(s), verdicts match post-mortem: {}",
-            stats.events,
-            stats.batches,
-            stats.snapshots,
-            if converged { "yes" } else { "NO" }
-        ));
-        if !converged {
+        if !instances_match(&live_report, &post)? {
             return Err(CliError::Stream(
                 "live streaming verdicts diverged from post-mortem analysis".into(),
             ));
         }
+        save_capture_with(&capture, out, &telemetry)?;
+        let mut msg = demo_header(out, &capture, w.spec().name);
+        msg.push_str(&format!(
+            "; live stream folded {} events in {} batches into {} snapshot(s), verdicts match post-mortem: yes",
+            stats.events, stats.batches, stats.snapshots,
+        ));
+        msg.push_str(&flight_summary(&flight, flight_out));
+        return Ok(msg);
     }
+    let session = Session::builder()
+        .telemetry(telemetry.clone())
+        .flight(flight.clone())
+        .start();
+    w.run(Scale::Test, Mode::Instrumented(&session));
+    let capture = session.finish();
+    save_capture_with(&capture, out, &telemetry)?;
+    let mut msg = demo_header(out, &capture, w.spec().name);
+    msg.push_str(&flight_summary(&flight, flight_out));
     Ok(msg)
+}
+
+/// The shared first clause of the demo's success message.
+fn demo_header(out: &Path, capture: &Capture, workload: &str) -> String {
+    let events: u64 = capture.profiles.iter().map(|p| p.events.len() as u64).sum();
+    format!(
+        "wrote {} ({} instances, {events} events) from workload {workload}",
+        out.display(),
+        capture.profiles.len(),
+    )
 }
 
 /// Index of a suite7 workload by (case-insensitive) name; `None` picks the
@@ -595,15 +637,51 @@ struct LiveRig {
     session: Session,
 }
 
-fn live_rig(dsspy: Dsspy, config: StreamConfig, telemetry: &Telemetry) -> LiveRig {
-    let streaming = StreamingAnalyzer::with_telemetry(dsspy, config, telemetry.clone());
+/// A deliberately faulty fourth subscriber behind `--inject-panic`: panics
+/// on its first `on_batch` delivery, gets poisoned by the fan-out's panic
+/// isolation, and thereby forces a `subscriber-panic` incident into the
+/// flight recorder — the acceptance path for `dsspy doctor`.
+struct PanicBomb;
+
+impl CollectorTap for PanicBomb {
+    fn on_batch(
+        &mut self,
+        _ctx: TraceContext,
+        _id: InstanceId,
+        _events: &[AccessEvent],
+        _queue_depth: usize,
+    ) {
+        panic!("injected demo panic (--inject-panic)");
+    }
+
+    fn on_stop(&mut self, _ctx: TraceContext, _stats: &CollectorStats, _session_nanos: u64) {}
+}
+
+fn live_rig(
+    dsspy: Dsspy,
+    config: StreamConfig,
+    telemetry: &Telemetry,
+    flight: &FlightRecorder,
+    inject_panic: bool,
+) -> LiveRig {
+    let streaming = StreamingAnalyzer::with_telemetry(dsspy, config, telemetry.clone())
+        .with_flight(flight.clone());
     let sampler = TelemetrySampler::new(telemetry);
     let recorder = CaptureRecorder::new();
-    let fanout = TapFanout::with_telemetry(telemetry.clone())
+    let mut fanout = TapFanout::with_telemetry(telemetry.clone())
+        .with_flight(flight.clone())
         .with_subscriber("analyzer", streaming.tap())
         .with_subscriber("sampler", sampler.tap())
         .with_subscriber("recorder", recorder.tap());
-    let session = Session::with_tap(dsspy.session, telemetry.clone(), Box::new(fanout));
+    if inject_panic {
+        fanout.subscribe("bomb", Box::new(PanicBomb));
+    }
+    let session = Session::builder()
+        .config(dsspy.session)
+        .telemetry(telemetry.clone())
+        .flight(flight.clone())
+        .tap(Box::new(fanout))
+        .start();
     streaming.bind_registry(session.registry_handle());
     LiveRig {
         streaming,
@@ -611,6 +689,35 @@ fn live_rig(dsspy: Dsspy, config: StreamConfig, telemetry: &Telemetry) -> LiveRi
         recorder,
         session,
     }
+}
+
+/// Build the flight recorder behind a `--flight-recorder PATH` flag: the
+/// default ring, auto-dumping to `path` on every incident (and flushed once
+/// more when the session finishes), its `flight.*` gauges published into
+/// `telemetry`. No flag → the disabled, zero-cost handle.
+fn flight_for(path: Option<&Path>, telemetry: &Telemetry) -> FlightRecorder {
+    match path {
+        Some(p) => {
+            FlightRecorder::with_telemetry(FlightConfig::default().with_dump_path(p), telemetry)
+        }
+        None => FlightRecorder::disabled(),
+    }
+}
+
+/// The one-line flight summary appended to command output when the
+/// recorder was enabled.
+fn flight_summary(flight: &FlightRecorder, path: Option<&Path>) -> String {
+    let Some(path) = path else {
+        return String::new();
+    };
+    let dump = flight.dump();
+    format!(
+        "; flight recorder: {} event(s) retained ({} overwritten), {} incident(s), dump at {}",
+        dump.events.len(),
+        dump.overwritten,
+        dump.incidents.len(),
+        path.display()
+    )
 }
 
 /// Re-collect a saved capture through real instance handles on the calling
@@ -665,6 +772,7 @@ pub fn cmd_telemetry_serve_live(
     addr: &str,
     requests: Option<u64>,
     self_check: bool,
+    flight_out: Option<&Path>,
 ) -> Result<String, CliError> {
     use std::io::{Read, Write};
 
@@ -678,12 +786,13 @@ pub fn cmd_telemetry_serve_live(
     }
     .with_threads(threads);
     let telemetry = Telemetry::enabled();
+    let flight = flight_for(flight_out, &telemetry);
     let LiveRig {
         streaming,
         sampler,
         recorder,
         session,
-    } = live_rig(dsspy, StreamConfig::default(), &telemetry);
+    } = live_rig(dsspy, StreamConfig::default(), &telemetry, &flight, false);
 
     let driver = std::thread::spawn(move || {
         replay_live(&session, &source);
@@ -806,6 +915,7 @@ pub fn cmd_telemetry_serve_live(
         validate_prometheus(&scraped).map_err(CliError::Telemetry)?;
         msg.push_str("; self-check scrape validated");
     }
+    msg.push_str(&flight_summary(&flight, flight_out));
     Ok(msg)
 }
 
@@ -821,6 +931,7 @@ pub fn cmd_watch_follow(
     window: usize,
     every: u64,
     max_frames: usize,
+    flight_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let w_idx = find_workload(workload)?;
     let dsspy = Dsspy {
@@ -840,12 +951,13 @@ pub fn cmd_watch_follow(
             ..SnapshotPolicy::default()
         },
     };
+    let flight = flight_for(flight_out, &telemetry);
     let LiveRig {
         streaming,
         sampler,
         recorder,
         session,
-    } = live_rig(dsspy, config, &telemetry);
+    } = live_rig(dsspy, config, &telemetry, &flight, false);
 
     let driver = std::thread::spawn(move || {
         let suite = suite7();
@@ -932,7 +1044,112 @@ pub fn cmd_watch_follow(
             "recorder's rebuilt capture analyzed differently".into(),
         ));
     }
+    let flight_note = flight_summary(&flight, flight_out);
+    if !flight_note.is_empty() {
+        out.push_str(flight_note.trim_start_matches("; "));
+        out.push('\n');
+    }
     Ok(out)
+}
+
+/// `dsspy doctor`: post-mortem of a pipeline's health from a flight dump —
+/// the causal timeline, the per-subscriber lag table and the incident
+/// report, reconstructed session → batch → subscriber → failure.
+///
+/// `path` is either a flight dump (the JSON a `--flight-recorder PATH` run
+/// wrote) or a saved capture: a capture is re-collected through the full
+/// live fan-out under a fresh flight recorder first, so `dsspy doctor
+/// capture.dsspycap` is a one-command health check of the whole pipeline
+/// against known traffic.
+///
+/// Returns the rendered report and the incident count; the binary exits
+/// non-zero when any incident was recorded. `trace_out` additionally writes
+/// the dump as Chrome `trace_event` JSON (one track per subscriber, loadable
+/// in `about:tracing`/Perfetto).
+pub fn cmd_doctor(
+    path: &Path,
+    max_events: usize,
+    trace_out: Option<&Path>,
+) -> Result<(String, usize), CliError> {
+    let bytes = std::fs::read(path)?;
+    let (dump, provenance) = match std::str::from_utf8(&bytes)
+        .ok()
+        .and_then(|text| FlightDump::from_json(text).ok())
+    {
+        Some(dump) => (dump, format!("flight dump {}", path.display())),
+        None => {
+            // Not a dump: treat as a capture and re-collect it live under
+            // full observation.
+            let source = load_capture(path)?;
+            let telemetry = Telemetry::enabled();
+            let flight = FlightRecorder::with_telemetry(FlightConfig::default(), &telemetry);
+            let dsspy = Dsspy {
+                session: SessionConfig {
+                    batch_size: 64,
+                    channel_capacity: None,
+                },
+                ..Dsspy::new()
+            }
+            .with_threads(1);
+            let LiveRig { session, .. } =
+                live_rig(dsspy, StreamConfig::default(), &telemetry, &flight, false);
+            replay_live(&session, &source);
+            session.finish();
+            (
+                flight.dump(),
+                format!("re-collected capture {}", path.display()),
+            )
+        }
+    };
+    let sessions = dump.sessions();
+    let subscribers = dump.subscribers();
+    let mut out = format!(
+        "doctor report for {provenance}\nschema {}, ring capacity {}, {} event(s) retained, {} overwritten\n",
+        dump.schema,
+        dump.capacity,
+        dump.events.len(),
+        dump.overwritten,
+    );
+    out.push_str(&format!(
+        "sessions: {}\n",
+        if sessions.is_empty() {
+            "none (replay only)".to_string()
+        } else {
+            sessions
+                .iter()
+                .map(|s| format!("s{s}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    ));
+    out.push_str(&format!(
+        "subscribers: {}\n",
+        if subscribers.is_empty() {
+            "none".to_string()
+        } else {
+            subscribers.join(", ")
+        }
+    ));
+    out.push_str("\ncausal timeline:\n");
+    out.push_str(&flight_timeline_text(&dump, max_events));
+    out.push_str("\nper-subscriber lag:\n");
+    out.push_str(&flight_lag_text(&dump));
+    out.push('\n');
+    out.push_str(&flight_incidents_text(&dump));
+    if let Some(tout) = trace_out {
+        std::fs::write(tout, export::flight_chrome_trace(&dump))?;
+        out.push_str(&format!("\nwrote Chrome trace to {}\n", tout.display()));
+    }
+    let incidents = dump.incidents.len();
+    out.push_str(&format!(
+        "\nverdict: {}\n",
+        if incidents == 0 {
+            "healthy — no incidents recorded".to_string()
+        } else {
+            format!("UNHEALTHY — {incidents} incident(s) recorded")
+        }
+    ));
+    Ok((out, incidents))
 }
 
 /// Validate a Prometheus text-format exposition (the subset the exporter
@@ -1206,12 +1423,146 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("demo-live.dsspycap");
-        let msg = cmd_demo(&path, Some("wordwheelsolver"), true).unwrap();
+        let msg = cmd_demo(&path, Some("wordwheelsolver"), true, None, false).unwrap();
         assert!(msg.contains("live stream folded"), "{msg}");
         assert!(msg.contains("verdicts match post-mortem: yes"), "{msg}");
         // The capture is still a normal capture every other command reads.
         let text = cmd_analyze(&path, false, false, 1, None).unwrap();
         assert!(text.contains("data structure instances"), "{text}");
+    }
+
+    #[test]
+    fn demo_flight_recorder_writes_clean_dump_doctor_agrees() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo-flight.dsspycap");
+        let dump_path = dir.join("demo-flight.json");
+        let msg = cmd_demo(
+            &path,
+            Some("wordwheelsolver"),
+            true,
+            Some(&dump_path),
+            false,
+        )
+        .unwrap();
+        assert!(msg.contains("flight recorder:"), "{msg}");
+        assert!(msg.contains("0 incident(s)"), "{msg}");
+        // The dump on disk is a valid schema-stamped flight dump with the
+        // whole fan-out trio on record.
+        let dump = FlightDump::from_json(&std::fs::read_to_string(&dump_path).unwrap()).unwrap();
+        assert!(dump.incidents.is_empty());
+        assert_eq!(dump.sessions().len(), 1);
+        for sub in ["analyzer", "sampler", "recorder"] {
+            assert!(
+                dump.subscribers().contains(&sub),
+                "{:?}",
+                dump.subscribers()
+            );
+        }
+        // Doctor reads it back and issues a clean bill of health.
+        let (out, incidents) = cmd_doctor(&dump_path, 32, None).unwrap();
+        assert_eq!(incidents, 0);
+        assert!(out.contains("healthy — no incidents"), "{out}");
+        assert!(out.contains("per-subscriber lag"), "{out}");
+    }
+
+    #[test]
+    fn inject_panic_incident_is_reconstructed_by_doctor() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo-panic.dsspycap");
+        let dump_path = dir.join("demo-panic.json");
+        // The bomb only poisons itself: the demo still converges.
+        let msg = cmd_demo(&path, Some("wordwheelsolver"), true, Some(&dump_path), true).unwrap();
+        assert!(msg.contains("verdicts match post-mortem: yes"), "{msg}");
+        assert!(msg.contains("1 incident(s)"), "{msg}");
+        let (out, incidents) =
+            cmd_doctor(&dump_path, 48, Some(&dir.join("panic-trace.json"))).unwrap();
+        assert_eq!(incidents, 1);
+        // The report reconstructs session → batch → subscriber → panic.
+        assert!(out.contains("UNHEALTHY"), "{out}");
+        assert!(out.contains("subscriber-panic at s"), "{out}");
+        assert!(out.contains("#b1"), "{out}");
+        assert!(out.contains("subscriber bomb"), "{out}");
+        assert!(out.contains("injected demo panic"), "{out}");
+        assert!(out.contains("causal chain for s"), "{out}");
+        // The Chrome trace landed and marks the incident.
+        let trace = std::fs::read_to_string(dir.join("panic-trace.json")).unwrap();
+        assert!(trace.contains("\"incident\""), "{trace}");
+    }
+
+    #[test]
+    fn inject_panic_requires_live() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = cmd_demo(&dir.join("x.dsspycap"), None, false, None, true).unwrap_err();
+        assert!(matches!(err, CliError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn doctor_recollects_a_plain_capture() {
+        let path = temp_capture(true, "doctor.dsspycap");
+        let (out, incidents) = cmd_doctor(&path, 24, None).unwrap();
+        assert_eq!(incidents, 0, "{out}");
+        assert!(out.contains("re-collected capture"), "{out}");
+        assert!(out.contains("analyzer"), "{out}");
+        assert!(out.contains("healthy"), "{out}");
+    }
+
+    #[test]
+    fn doctor_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{\"schema\":\"dsspy-flight/99\"}").unwrap();
+        // Wrong schema → not a dump → not a capture either.
+        let err = cmd_doctor(&path, 24, None).unwrap_err();
+        assert!(matches!(err, CliError::Capture(_)), "{err}");
+    }
+
+    #[test]
+    fn watch_follow_flight_recorder_stays_clean() {
+        let dir = std::env::temp_dir().join(format!("dsspy-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump_path = dir.join("follow-flight.json");
+        let out =
+            cmd_watch_follow(Some("wordwheelsolver"), 32, 64, 1, 4, Some(&dump_path)).unwrap();
+        assert!(out.contains("flight recorder:"), "{out}");
+        let (report, incidents) = cmd_doctor(&dump_path, 32, None).unwrap();
+        assert_eq!(incidents, 0, "{report}");
+    }
+
+    #[test]
+    fn validate_prometheus_requires_a_type_line() {
+        // A gauge sample without its # TYPE declaration is rejected.
+        let err = validate_prometheus("dsspy_collector_queue_depth_hwm 7\n").unwrap_err();
+        assert!(err.contains("no # TYPE"), "{err}");
+        // With the declaration it passes.
+        validate_prometheus(
+            "# TYPE dsspy_collector_queue_depth_hwm gauge\ndsspy_collector_queue_depth_hwm 7\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn flight_metric_families_reach_the_exposition() {
+        let telemetry = Telemetry::enabled();
+        let flight = FlightRecorder::with_telemetry(FlightConfig::default(), &telemetry);
+        flight.record(
+            TraceContext::new(1, 1),
+            dsspy_telemetry::FlightEventKind::SessionStart,
+        );
+        let body = export::prometheus(&telemetry.snapshot());
+        validate_prometheus(&body).unwrap();
+        for family in [
+            "dsspy_flight_events_total",
+            "dsspy_flight_incidents_total",
+            "dsspy_flight_overwritten_total",
+            "dsspy_flight_ring_len",
+            "dsspy_flight_capacity",
+        ] {
+            assert!(body.contains(family), "missing {family} in:\n{body}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn temp_dir() -> PathBuf {
 
 fn demo_capture(name: &str) -> PathBuf {
     let path = temp_dir().join(name);
-    cmd_demo(&path, None, false).expect("demo capture");
+    cmd_demo(&path, None, false, None, false).expect("demo capture");
     path
 }
 
@@ -110,7 +110,7 @@ fn every_scrape_racing_a_batch_flush_validates() {
 #[test]
 fn live_serve_self_check_smoke() {
     let capture = demo_capture("live-self-check.dsspycap");
-    let msg = cmd_telemetry_serve_live(&capture, 1, "127.0.0.1:0", Some(1), true)
+    let msg = cmd_telemetry_serve_live(&capture, 1, "127.0.0.1:0", Some(1), true, None)
         .expect("live serve with self-check");
     assert!(msg.contains("self-check scrape validated"), "{msg}");
     assert!(msg.contains("all 3 subscribers converged"), "{msg}");
@@ -131,7 +131,7 @@ fn live_serve_survives_external_scrapes_racing_the_replay() {
     let server = {
         let addr = addr.clone();
         std::thread::spawn(move || {
-            cmd_telemetry_serve_live(&capture, 1, &addr, Some(scrapes), false)
+            cmd_telemetry_serve_live(&capture, 1, &addr, Some(scrapes), false, None)
         })
     };
 
@@ -162,7 +162,7 @@ fn live_serve_survives_external_scrapes_racing_the_replay() {
 
 #[test]
 fn watch_follow_converges_on_a_live_workload() {
-    let out = cmd_watch_follow(Some("WordWheelSolver"), 64, 1024, 2, 8).expect("follow");
+    let out = cmd_watch_follow(Some("WordWheelSolver"), 64, 1024, 2, 8, None).expect("follow");
     assert!(out.contains("frame 1:"), "no frames printed:\n{out}");
     assert!(
         out.contains("streaming verdicts match post-mortem analysis: yes"),
@@ -173,6 +173,6 @@ fn watch_follow_converges_on_a_live_workload() {
 
 #[test]
 fn watch_follow_rejects_unknown_workloads() {
-    let err = cmd_watch_follow(Some("NoSuchWorkload"), 64, 1024, 2, 8).unwrap_err();
+    let err = cmd_watch_follow(Some("NoSuchWorkload"), 64, 1024, 2, 8, None).unwrap_err();
     assert!(err.to_string().contains("unknown workload"), "{err}");
 }

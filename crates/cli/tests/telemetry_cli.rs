@@ -15,7 +15,7 @@ fn temp_dir() -> PathBuf {
 
 fn demo_capture(name: &str) -> PathBuf {
     let path = temp_dir().join(name);
-    let msg = cmd_demo(&path, Some("wordwheelsolver"), false).unwrap();
+    let msg = cmd_demo(&path, Some("wordwheelsolver"), false, None, false).unwrap();
     assert!(msg.contains("WordWheelSolver"), "{msg}");
     path
 }
@@ -29,7 +29,14 @@ fn demo_writes_a_capture_other_commands_can_read() {
 
 #[test]
 fn demo_rejects_unknown_workloads() {
-    let err = cmd_demo(&temp_dir().join("x.dsspycap"), Some("nope"), false).unwrap_err();
+    let err = cmd_demo(
+        &temp_dir().join("x.dsspycap"),
+        Some("nope"),
+        false,
+        None,
+        false,
+    )
+    .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("unknown workload"), "{msg}");
     assert!(msg.contains("WordWheelSolver"), "lists choices: {msg}");

@@ -12,7 +12,9 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::Receiver;
 use dsspy_events::{AccessEvent, InstanceId, InstanceInfo, RuntimeProfile};
-use dsspy_telemetry::{overhead::signals, Telemetry};
+use dsspy_telemetry::{
+    overhead::signals, FlightEventKind, FlightRecorder, IncidentTrigger, Telemetry, TraceContext,
+};
 use serde::{Deserialize, Serialize};
 
 /// Messages from instrumented code to the collector thread.
@@ -44,15 +46,24 @@ pub(crate) enum Msg {
 /// time and is attributed to `collector.batch_handle_nanos` when telemetry
 /// is enabled.
 pub trait CollectorTap: Send {
-    /// One stored batch: the instance it belongs to, its events (per-thread
-    /// chronological order), and the channel depth observed *behind* this
-    /// batch — the backpressure signal.
-    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize);
+    /// One stored batch: its causal coordinates (`ctx.batch_seq` is the
+    /// 1-based arrival ordinal on this collector thread), the instance it
+    /// belongs to, its events (per-thread chronological order), and the
+    /// channel depth observed *behind* this batch — the backpressure
+    /// signal.
+    fn on_batch(
+        &mut self,
+        ctx: TraceContext,
+        id: InstanceId,
+        events: &[AccessEvent],
+        queue_depth: usize,
+    );
 
-    /// Session shutdown, after the post-stop drain. `session_nanos` is the
-    /// session duration from [`Msg::Stop`] (0 when senders dropped without a
-    /// `finish`).
-    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64);
+    /// Session shutdown, after the post-stop drain. `ctx.batch_seq` carries
+    /// the sequence of the *last* stored batch (0 when the session stored
+    /// none); `session_nanos` is the session duration from [`Msg::Stop`]
+    /// (0 when senders dropped without a `finish`).
+    fn on_stop(&mut self, ctx: TraceContext, stats: &CollectorStats, session_nanos: u64);
 }
 
 /// Counters describing what the collector saw. Used by the evaluation to
@@ -84,6 +95,8 @@ pub struct CollectorStats {
 pub(crate) fn spawn(
     rx: Receiver<Msg>,
     telemetry: Telemetry,
+    flight: FlightRecorder,
+    session_id: u64,
     mut tap: Option<Box<dyn CollectorTap>>,
 ) -> JoinHandle<(HashMap<InstanceId, Vec<AccessEvent>>, CollectorStats)> {
     std::thread::Builder::new()
@@ -91,12 +104,22 @@ pub(crate) fn spawn(
         .spawn(move || {
             // Handles resolved once, outside the receive loop.
             let queue_depth = telemetry.gauge("collector.queue_depth");
-            let queue_peak = telemetry.gauge("collector.queue_depth_peak");
+            let queue_hwm = telemetry.gauge("collector.queue_depth_hwm");
             let batch_events = telemetry.histogram("collector.batch_events");
             let batch_wait = telemetry.histogram("collector.batch_wait_nanos");
             let batch_handle = telemetry.histogram("collector.batch_handle_nanos");
             let busy = telemetry.counter(signals::COLLECTOR_BUSY);
             let enabled = telemetry.is_enabled();
+            let watermark = flight.queue_watermark();
+            // Latched so a sustained breach is one incident, not one per
+            // batch; re-arms once the queue falls back under the watermark.
+            let mut above_watermark = false;
+            if flight.is_enabled() {
+                flight.record(
+                    TraceContext::new(session_id, 0),
+                    FlightEventKind::SessionStart,
+                );
+            }
 
             let mut map: HashMap<InstanceId, Vec<AccessEvent>> = HashMap::new();
             let mut stats = CollectorStats::default();
@@ -109,14 +132,14 @@ pub(crate) fn spawn(
                         // after we took ours. The backpressure signal both
                         // telemetry and the tap consume; skipped entirely on
                         // the bare path so tap-disabled cost stays one branch.
-                        let depth = if enabled || tap.is_some() {
+                        let depth = if enabled || tap.is_some() || flight.is_enabled() {
                             rx.len()
                         } else {
                             0
                         };
                         let start_nanos = if enabled {
                             queue_depth.set(depth as u64);
-                            queue_peak.set_max(depth as u64);
+                            queue_hwm.set_max(depth as u64);
                             let now = telemetry.now_nanos();
                             batch_wait.record(now.saturating_sub(sent_nanos));
                             batch_events.record(batch.len() as u64);
@@ -124,8 +147,36 @@ pub(crate) fn spawn(
                         } else {
                             0
                         };
+                        let ctx = TraceContext::new(session_id, stats.batches + 1);
+                        if flight.is_enabled() {
+                            flight.record(
+                                ctx,
+                                FlightEventKind::BatchReceived {
+                                    instance: id.0,
+                                    events: batch.len() as u64,
+                                    queue_depth: depth as u64,
+                                },
+                            );
+                            if watermark > 0 {
+                                if depth as u64 > watermark {
+                                    if !above_watermark {
+                                        above_watermark = true;
+                                        flight.incident(
+                                            ctx,
+                                            None,
+                                            IncidentTrigger::QueueWatermark {
+                                                queue_depth: depth as u64,
+                                                watermark,
+                                            },
+                                        );
+                                    }
+                                } else {
+                                    above_watermark = false;
+                                }
+                            }
+                        }
                         if let Some(tap) = tap.as_deref_mut() {
-                            tap.on_batch(id, &batch, depth);
+                            tap.on_batch(ctx, id, &batch, depth);
                         }
                         stats.events += batch.len() as u64;
                         stats.batches += 1;
@@ -150,8 +201,30 @@ pub(crate) fn spawn(
                     stats.dropped += batch.len() as u64;
                 }
             }
+            let stop_ctx = TraceContext::new(session_id, stats.batches);
+            if stats.dropped > 0 {
+                // The drop counter moved: that is an incident — events the
+                // profiled program recorded are not in the capture.
+                flight.incident(
+                    stop_ctx,
+                    None,
+                    IncidentTrigger::DropSpike {
+                        dropped: stats.dropped,
+                    },
+                );
+            }
             if let Some(tap) = tap.as_deref_mut() {
-                tap.on_stop(&stats, session_nanos);
+                tap.on_stop(stop_ctx, &stats, session_nanos);
+            }
+            if flight.is_enabled() {
+                flight.record(
+                    stop_ctx,
+                    FlightEventKind::SessionStop {
+                        events: stats.events,
+                        batches: stats.batches,
+                        dropped: stats.dropped,
+                    },
+                );
             }
             // The queue is fully drained; leave the gauge reflecting that,
             // and publish the final counters alongside `CollectorStats`.
@@ -298,7 +371,13 @@ mod tests {
     #[test]
     fn collector_thread_drains_after_stop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx, Telemetry::disabled(), None);
+        let join = spawn(
+            rx,
+            Telemetry::disabled(),
+            FlightRecorder::disabled(),
+            1,
+            None,
+        );
         tx.send(Msg::Batch(
             InstanceId(0),
             vec![AccessEvent::at(0, AccessKind::Insert, 0, 1)],
@@ -330,7 +409,15 @@ mod tests {
             0,
         ))
         .unwrap();
-        let (map, stats) = spawn(rx, Telemetry::disabled(), None).join().unwrap();
+        let (map, stats) = spawn(
+            rx,
+            Telemetry::disabled(),
+            FlightRecorder::disabled(),
+            1,
+            None,
+        )
+        .join()
+        .unwrap();
         assert!(map.is_empty(), "post-shutdown events must not be stored");
         assert_eq!(stats.dropped, 2);
         assert_eq!(stats.events, 0);
@@ -340,7 +427,13 @@ mod tests {
     #[test]
     fn collector_thread_stops_when_senders_drop() {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let join = spawn(rx, Telemetry::disabled(), None);
+        let join = spawn(
+            rx,
+            Telemetry::disabled(),
+            FlightRecorder::disabled(),
+            1,
+            None,
+        );
         tx.send(Msg::Batch(
             InstanceId(3),
             vec![AccessEvent::at(0, AccessKind::Read, 0, 1)],
@@ -359,15 +452,30 @@ mod tests {
 
         #[derive(Default)]
         struct Seen {
-            batches: Vec<(InstanceId, usize)>,
+            batches: Vec<(u64, InstanceId, usize)>,
             stopped: Option<(CollectorStats, u64)>,
         }
         struct RecordingTap(Arc<Mutex<Seen>>);
         impl CollectorTap for RecordingTap {
-            fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], _depth: usize) {
-                self.0.lock().unwrap().batches.push((id, events.len()));
+            fn on_batch(
+                &mut self,
+                ctx: TraceContext,
+                id: InstanceId,
+                events: &[AccessEvent],
+                _depth: usize,
+            ) {
+                assert_eq!(ctx.session, 7, "tap sees the spawning session's id");
+                self.0
+                    .lock()
+                    .unwrap()
+                    .batches
+                    .push((ctx.batch_seq, id, events.len()));
             }
-            fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+            fn on_stop(&mut self, ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
+                assert_eq!(
+                    ctx.batch_seq, stats.batches,
+                    "stop carries the last batch seq"
+                );
                 self.0.lock().unwrap().stopped = Some((*stats, session_nanos));
             }
         }
@@ -403,6 +511,8 @@ mod tests {
         let (_, stats) = spawn(
             rx,
             Telemetry::disabled(),
+            FlightRecorder::disabled(),
+            7,
             Some(Box::new(RecordingTap(Arc::clone(&seen)))),
         )
         .join()
@@ -410,8 +520,8 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert_eq!(
             seen.batches,
-            vec![(InstanceId(1), 1), (InstanceId(2), 2)],
-            "tap sees stored batches in arrival order, and only those"
+            vec![(1, InstanceId(1), 1), (2, InstanceId(2), 2)],
+            "tap sees stored batches in arrival order with 1-based seqs, and only those"
         );
         let (tap_stats, nanos) = seen.stopped.expect("on_stop fired");
         assert_eq!(nanos, 777);

@@ -30,7 +30,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use dsspy_events::{AccessEvent, InstanceId, InstanceInfo};
-use dsspy_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use dsspy_telemetry::{
+    Counter, FlightEventKind, FlightRecorder, Gauge, Histogram, IncidentTrigger, Telemetry,
+    TraceContext,
+};
 use parking_lot::Mutex;
 
 use crate::collector::{Capture, CollectorStats, CollectorTap};
@@ -72,9 +75,14 @@ struct Subscriber {
 /// [`Session::with_tap`](crate::Session::with_tap) as `Box::new(fanout)`.
 pub struct TapFanout {
     telemetry: Telemetry,
+    flight: FlightRecorder,
     subs: Vec<Subscriber>,
     subscribers: Gauge,
     panics: Counter,
+    /// `stream.tap.dispatch_nanos_max`: the slowest single delivery across
+    /// all subscribers so far — the lag spike a scrape-to-scrape histogram
+    /// delta cannot show.
+    dispatch_max: Gauge,
 }
 
 impl TapFanout {
@@ -88,12 +96,25 @@ impl TapFanout {
     pub fn with_telemetry(telemetry: Telemetry) -> TapFanout {
         let subscribers = telemetry.gauge("stream.tap.subscribers");
         let panics = telemetry.counter("stream.tap.panics");
+        let dispatch_max = telemetry.gauge("stream.tap.dispatch_nanos_max");
         TapFanout {
             telemetry,
+            flight: FlightRecorder::disabled(),
             subs: Vec::new(),
             subscribers,
             panics,
+            dispatch_max,
         }
+    }
+
+    /// Record every per-subscriber delivery (and panic incident) into
+    /// `flight`, chaining. Attach the *same* recorder to the session (via
+    /// [`SessionBuilder::flight`](crate::SessionBuilder::flight)) so
+    /// dispatch events interleave with the collector's batch receipts in
+    /// one causal timeline.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> TapFanout {
+        self.flight = flight;
+        self
     }
 
     /// Register `tap` under `label`. Delivery order across subscribers is
@@ -152,8 +173,15 @@ impl TapFanout {
     /// Deliver one callback to every healthy subscriber, isolating panics.
     /// `batch_events` is `Some(len)` for `on_batch` deliveries (counted into
     /// the subscriber's `batches`/`events` instruments) and `None` for
-    /// `on_stop` (timed, not counted as a batch).
-    fn dispatch(&mut self, batch_events: Option<u64>, call: impl Fn(&mut dyn CollectorTap)) {
+    /// `on_stop` (timed, not counted as a batch). Poisoned subscribers are
+    /// skipped for **both** kinds — a subscriber that panicked mid-session
+    /// must not receive `on_stop` against torn internal state.
+    fn dispatch(
+        &mut self,
+        ctx: TraceContext,
+        batch_events: Option<u64>,
+        call: impl Fn(&mut dyn CollectorTap),
+    ) {
         for sub in self.subs.iter_mut().filter(|s| !s.poisoned) {
             let started = self.telemetry.now_nanos();
             // The collector thread must survive any subscriber. A panicking
@@ -162,19 +190,46 @@ impl TapFanout {
             let outcome = catch_unwind(AssertUnwindSafe(|| call(sub.tap.as_mut())));
             match outcome {
                 Ok(()) => {
+                    let dur_nanos = self.telemetry.now_nanos().saturating_sub(started);
                     if let Some(events) = batch_events {
                         sub.batches.inc();
                         sub.events.add(events);
                     }
-                    sub.dispatch_nanos
-                        .record(self.telemetry.now_nanos().saturating_sub(started));
+                    sub.dispatch_nanos.record(dur_nanos);
+                    self.dispatch_max.set_max(dur_nanos);
+                    if self.flight.is_enabled() {
+                        let kind = match batch_events {
+                            Some(events) => FlightEventKind::TapDispatch { events, dur_nanos },
+                            None => FlightEventKind::StopDelivered { dur_nanos },
+                        };
+                        self.flight.record_for(ctx, Some(&sub.label), kind);
+                    }
                 }
-                Err(_payload) => {
+                Err(payload) => {
                     sub.poisoned = true;
                     self.panics.inc();
+                    self.flight.incident(
+                        ctx,
+                        Some(&sub.label),
+                        IncidentTrigger::SubscriberPanic {
+                            payload: panic_payload(payload.as_ref()),
+                        },
+                    );
                 }
             }
         }
+    }
+}
+
+/// Extract a human-readable message from a panic payload (the `&str` /
+/// `String` shapes `panic!` produces; anything else is opaque).
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -197,14 +252,20 @@ impl std::fmt::Debug for TapFanout {
 }
 
 impl CollectorTap for TapFanout {
-    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
-        self.dispatch(Some(events.len() as u64), |tap| {
-            tap.on_batch(id, events, queue_depth)
+    fn on_batch(
+        &mut self,
+        ctx: TraceContext,
+        id: InstanceId,
+        events: &[AccessEvent],
+        queue_depth: usize,
+    ) {
+        self.dispatch(ctx, Some(events.len() as u64), |tap| {
+            tap.on_batch(ctx, id, events, queue_depth)
         });
     }
 
-    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
-        self.dispatch(None, |tap| tap.on_stop(stats, session_nanos));
+    fn on_stop(&mut self, ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
+        self.dispatch(ctx, None, |tap| tap.on_stop(ctx, stats, session_nanos));
     }
 }
 
@@ -297,7 +358,13 @@ struct RecorderTap {
 }
 
 impl CollectorTap for RecorderTap {
-    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], _queue_depth: usize) {
+    fn on_batch(
+        &mut self,
+        _ctx: TraceContext,
+        id: InstanceId,
+        events: &[AccessEvent],
+        _queue_depth: usize,
+    ) {
         let mut state = self.shared.lock();
         state
             .events
@@ -307,7 +374,7 @@ impl CollectorTap for RecorderTap {
         state.batch_log.push((id, events.len()));
     }
 
-    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+    fn on_stop(&mut self, _ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
         self.shared.lock().finished = Some((*stats, session_nanos));
     }
 }
@@ -325,20 +392,30 @@ mod tests {
         seqs.map(event).collect()
     }
 
-    /// A subscriber that panics when it sees its `panic_on`-th batch.
+    /// A subscriber that panics when it sees its `panic_on`-th batch and
+    /// counts `on_stop` deliveries (to pin poisoned-at-stop skipping).
     struct PanickyTap {
         seen: usize,
         panic_on: usize,
+        stops: usize,
     }
 
     impl CollectorTap for PanickyTap {
-        fn on_batch(&mut self, _id: InstanceId, _events: &[AccessEvent], _depth: usize) {
+        fn on_batch(
+            &mut self,
+            _ctx: TraceContext,
+            _id: InstanceId,
+            _events: &[AccessEvent],
+            _depth: usize,
+        ) {
             self.seen += 1;
             if self.seen == self.panic_on {
                 panic!("subscriber blew up on batch {}", self.seen);
             }
         }
-        fn on_stop(&mut self, _stats: &CollectorStats, _nanos: u64) {}
+        fn on_stop(&mut self, _ctx: TraceContext, _stats: &CollectorStats, _nanos: u64) {
+            self.stops += 1;
+        }
     }
 
     #[test]
@@ -349,15 +426,15 @@ mod tests {
             fanout.subscribe(&format!("sub{i}"), r.tap());
         }
         assert_eq!(fanout.len(), 3);
-        fanout.on_batch(InstanceId(0), &batch(0..4), 0);
-        fanout.on_batch(InstanceId(1), &batch(4..6), 1);
-        fanout.on_batch(InstanceId(0), &batch(6..7), 0);
+        fanout.on_batch(TraceContext::new(1, 1), InstanceId(0), &batch(0..4), 0);
+        fanout.on_batch(TraceContext::new(1, 2), InstanceId(1), &batch(4..6), 1);
+        fanout.on_batch(TraceContext::new(1, 3), InstanceId(0), &batch(6..7), 0);
         let stats = CollectorStats {
             events: 7,
             batches: 3,
             dropped: 0,
         };
-        fanout.on_stop(&stats, 999);
+        fanout.on_stop(TraceContext::new(1, 3), &stats, 999);
         let expected = vec![(InstanceId(0), 4), (InstanceId(1), 2), (InstanceId(0), 1)];
         for r in &recorders {
             assert_eq!(r.batch_log(), expected, "delivery order per subscriber");
@@ -377,6 +454,7 @@ mod tests {
                 Box::new(PanickyTap {
                     seen: 0,
                     panic_on: 3,
+                    stops: 0,
                 }),
             )
             .with_subscriber("late", late.tap());
@@ -385,7 +463,12 @@ mod tests {
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         for i in 0..5u64 {
-            fanout.on_batch(InstanceId(i), &batch(i..i + 1), 0);
+            fanout.on_batch(
+                TraceContext::new(1, i + 1),
+                InstanceId(i),
+                &batch(i..i + 1),
+                0,
+            );
         }
         std::panic::set_hook(hook);
         let stats = CollectorStats {
@@ -393,7 +476,7 @@ mod tests {
             batches: 5,
             dropped: 0,
         };
-        fanout.on_stop(&stats, 5);
+        fanout.on_stop(TraceContext::new(1, 5), &stats, 5);
         assert_eq!(fanout.poisoned_labels(), vec!["bomb"]);
         // Subscribers before and after the bomb both saw all five batches
         // and the stop, in order.
@@ -417,8 +500,8 @@ mod tests {
         let r = CaptureRecorder::new();
         let mut fanout =
             TapFanout::with_telemetry(telemetry.clone()).with_subscriber("only one!", r.tap());
-        fanout.on_batch(InstanceId(0), &batch(0..10), 0);
-        fanout.on_batch(InstanceId(0), &batch(10..15), 0);
+        fanout.on_batch(TraceContext::new(1, 1), InstanceId(0), &batch(0..10), 0);
+        fanout.on_batch(TraceContext::new(1, 2), InstanceId(0), &batch(10..15), 0);
         let snap = telemetry.snapshot();
         // Label sanitized for the metric namespace.
         assert_eq!(snap.counter("stream.tap.only_one_.batches"), Some(2));
@@ -433,15 +516,15 @@ mod tests {
     fn recorder_rebuilds_the_capture() {
         let recorder = CaptureRecorder::new();
         let mut tap = recorder.tap();
-        tap.on_batch(InstanceId(0), &batch(0..3), 0);
-        tap.on_batch(InstanceId(1), &batch(3..5), 0);
+        tap.on_batch(TraceContext::new(1, 1), InstanceId(0), &batch(0..3), 0);
+        tap.on_batch(TraceContext::new(1, 2), InstanceId(1), &batch(3..5), 0);
         assert!(recorder.capture(Vec::new()).is_none(), "not stopped yet");
         let stats = CollectorStats {
             events: 5,
             batches: 2,
             dropped: 0,
         };
-        tap.on_stop(&stats, 77);
+        tap.on_stop(TraceContext::new(1, 2), &stats, 77);
         let infos: Vec<InstanceInfo> = (0..2)
             .map(|i| {
                 InstanceInfo::new(
@@ -469,7 +552,105 @@ mod tests {
     fn empty_fanout_is_a_noop_tap() {
         let mut fanout = TapFanout::default();
         assert!(fanout.is_empty());
-        fanout.on_batch(InstanceId(0), &batch(0..1), 0);
-        fanout.on_stop(&CollectorStats::default(), 0);
+        fanout.on_batch(TraceContext::new(1, 1), InstanceId(0), &batch(0..1), 0);
+        fanout.on_stop(TraceContext::new(1, 1), &CollectorStats::default(), 0);
+    }
+
+    #[test]
+    fn poisoned_subscriber_does_not_receive_on_stop() {
+        // Regression guard: a subscriber whose on_batch panicked has torn
+        // internal state — delivering on_stop to it would run arbitrary
+        // subscriber code against that state. It must be skipped at stop.
+        let probe = Arc::new(Mutex::new(0usize));
+        struct StopProbe {
+            bombed: bool,
+            stops: Arc<Mutex<usize>>,
+        }
+        impl CollectorTap for StopProbe {
+            fn on_batch(
+                &mut self,
+                _ctx: TraceContext,
+                _id: InstanceId,
+                _events: &[AccessEvent],
+                _depth: usize,
+            ) {
+                if self.bombed {
+                    panic!("boom");
+                }
+            }
+            fn on_stop(&mut self, _ctx: TraceContext, _stats: &CollectorStats, _nanos: u64) {
+                *self.stops.lock() += 1;
+            }
+        }
+        let mut fanout = TapFanout::new()
+            .with_subscriber(
+                "bomb",
+                Box::new(StopProbe {
+                    bombed: true,
+                    stops: Arc::clone(&probe),
+                }),
+            )
+            .with_subscriber(
+                "healthy",
+                Box::new(StopProbe {
+                    bombed: false,
+                    stops: Arc::clone(&probe),
+                }),
+            );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        fanout.on_batch(TraceContext::new(1, 1), InstanceId(0), &batch(0..1), 0);
+        std::panic::set_hook(hook);
+        assert_eq!(fanout.poisoned_labels(), vec!["bomb"]);
+        fanout.on_stop(TraceContext::new(1, 1), &CollectorStats::default(), 0);
+        assert_eq!(
+            *probe.lock(),
+            1,
+            "only the healthy subscriber receives on_stop"
+        );
+    }
+
+    #[test]
+    fn fanout_records_flight_dispatches_and_panic_incidents() {
+        let telemetry = Telemetry::enabled();
+        let flight = dsspy_telemetry::FlightRecorder::new(dsspy_telemetry::FlightConfig::default());
+        let r = CaptureRecorder::new();
+        let mut fanout = TapFanout::with_telemetry(telemetry.clone())
+            .with_flight(flight.clone())
+            .with_subscriber("analyzer", r.tap())
+            .with_subscriber(
+                "bomb",
+                Box::new(PanickyTap {
+                    seen: 0,
+                    panic_on: 1,
+                    stops: 0,
+                }),
+            );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ctx = TraceContext::new(9, 1);
+        fanout.on_batch(ctx, InstanceId(0), &batch(0..6), 0);
+        std::panic::set_hook(hook);
+        fanout.on_stop(TraceContext::new(9, 1), &CollectorStats::default(), 1);
+
+        let dump = flight.dump();
+        // analyzer: TapDispatch + StopDelivered; bomb: the panic event.
+        let chain = dump.chain(ctx);
+        assert!(chain
+            .iter()
+            .any(|e| e.subscriber.as_deref() == Some("analyzer") && e.kind.tag() == "dispatch"));
+        assert!(chain
+            .iter()
+            .any(|e| e.subscriber.as_deref() == Some("bomb") && e.kind.tag() == "panic"));
+        assert_eq!(dump.incidents.len(), 1);
+        assert_eq!(dump.incidents[0].subscriber.as_deref(), Some("bomb"));
+        assert!(
+            matches!(&dump.incidents[0].trigger, dsspy_telemetry::IncidentTrigger::SubscriberPanic { payload } if payload.contains("blew up")),
+            "panic payload is captured: {:?}",
+            dump.incidents[0].trigger
+        );
+        // The aggregate lag-spike gauge moved.
+        let snap = telemetry.snapshot();
+        assert!(snap.gauge("stream.tap.dispatch_nanos_max").is_some());
     }
 }

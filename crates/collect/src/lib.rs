@@ -49,4 +49,4 @@ pub use persist::{
 };
 pub use recorder::Recorder;
 pub use registry::Registry;
-pub use session::{InstanceHandle, Session, SessionConfig};
+pub use session::{InstanceHandle, Session, SessionBuilder, SessionConfig};

@@ -13,7 +13,9 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, Origin, Target};
-use dsspy_telemetry::{Gauge, Telemetry};
+use dsspy_telemetry::{
+    next_session_id, FlightRecorder, Gauge, IncidentTrigger, Telemetry, TraceContext,
+};
 
 use crate::clock::{current_thread_tag, SessionClock};
 use crate::collector::{spawn, Capture, CollectorStats, CollectorTap, Msg};
@@ -51,11 +53,17 @@ pub(crate) struct SessionInner {
     /// Self-observation handle; [`Telemetry::disabled`] unless the session
     /// was started with [`Session::with_telemetry`].
     pub(crate) telemetry: Telemetry,
+    /// Flight recorder the session's pipeline records into;
+    /// [`FlightRecorder::disabled`] unless attached via [`SessionBuilder`].
+    pub(crate) flight: FlightRecorder,
+    /// The process-unique id stamped into every [`TraceContext`] this
+    /// session's collector emits.
+    pub(crate) session_id: u64,
     /// `collector.queue_depth`, resolved once so the producer-side sample in
     /// [`InstanceHandle::flush`] costs no registry lookup.
     queue_depth: Gauge,
-    /// `collector.queue_depth_peak`, ditto.
-    queue_peak: Gauge,
+    /// `collector.queue_depth_hwm`, ditto.
+    queue_hwm: Gauge,
     closed: AtomicBool,
     dropped: AtomicU64,
 }
@@ -87,7 +95,7 @@ impl Session {
     /// (see the `dsspy-telemetry` crate). Passing [`Telemetry::disabled`]
     /// is exactly [`Session::with_config`].
     pub fn with_telemetry(config: SessionConfig, telemetry: Telemetry) -> Session {
-        Session::build(config, telemetry, None)
+        Session::build(config, telemetry, FlightRecorder::disabled(), None)
     }
 
     /// Start a session whose collector thread feeds every stored batch to
@@ -100,28 +108,39 @@ impl Session {
         telemetry: Telemetry,
         tap: Box<dyn CollectorTap>,
     ) -> Session {
-        Session::build(config, telemetry, Some(tap))
+        Session::build(config, telemetry, FlightRecorder::disabled(), Some(tap))
+    }
+
+    /// Full-control construction: configure telemetry, a flight recorder,
+    /// and a tap in any combination. The other constructors are shorthands
+    /// over this.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
     }
 
     fn build(
         config: SessionConfig,
         telemetry: Telemetry,
+        flight: FlightRecorder,
         tap: Option<Box<dyn CollectorTap>>,
     ) -> Session {
         let (tx, rx) = match config.channel_capacity {
             Some(n) => bounded(n),
             None => unbounded(),
         };
-        let join = spawn(rx, telemetry.clone(), tap);
+        let session_id = next_session_id();
+        let join = spawn(rx, telemetry.clone(), flight.clone(), session_id, tap);
         let queue_depth = telemetry.gauge("collector.queue_depth");
-        let queue_peak = telemetry.gauge("collector.queue_depth_peak");
+        let queue_hwm = telemetry.gauge("collector.queue_depth_hwm");
         Session {
             inner: Arc::new(SessionInner {
                 clock: SessionClock::new(),
                 registry: Arc::new(Registry::new()),
                 telemetry,
+                flight,
+                session_id,
                 queue_depth,
-                queue_peak,
+                queue_hwm,
                 closed: AtomicBool::new(false),
                 dropped: AtomicU64::new(0),
             }),
@@ -129,6 +148,18 @@ impl Session {
             join,
             batch_size: config.batch_size.max(1),
         }
+    }
+
+    /// The process-unique session id the collector stamps into every
+    /// [`TraceContext`] — the key `dsspy doctor` groups flight events by.
+    pub fn session_id(&self) -> u64 {
+        self.inner.session_id
+    }
+
+    /// The flight recorder this session's pipeline records into (disabled
+    /// unless attached via [`SessionBuilder::flight`]).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 
     /// The telemetry handle this session reports into (disabled by default).
@@ -218,7 +249,55 @@ impl Session {
         if self.inner.telemetry.is_enabled() {
             capture.collection_telemetry = Some(self.inner.telemetry.snapshot());
         }
+        // Incident auto-dumps keep the configured dump file fresh mid-run;
+        // this final flush captures the session's full tail (including the
+        // SessionStop event the collector just recorded).
+        if let Err(err) = self.inner.flight.flush_dump() {
+            eprintln!("dsspy: final flight-recorder dump failed: {err}");
+        }
         capture
+    }
+}
+
+/// Builder for sessions that combine telemetry, a flight recorder, and a
+/// collector tap. [`SessionBuilder::start`] spawns the collector thread.
+#[derive(Default)]
+pub struct SessionBuilder {
+    config: SessionConfig,
+    telemetry: Telemetry,
+    flight: FlightRecorder,
+    tap: Option<Box<dyn CollectorTap>>,
+}
+
+impl SessionBuilder {
+    /// Use `config` instead of [`SessionConfig::default`].
+    pub fn config(mut self, config: SessionConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Observe the session with `telemetry`.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> SessionBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Record the session's pipeline events into `flight` (and trigger its
+    /// incident dumps).
+    pub fn flight(mut self, flight: FlightRecorder) -> SessionBuilder {
+        self.flight = flight;
+        self
+    }
+
+    /// Feed every stored batch to `tap` on the collector thread.
+    pub fn tap(mut self, tap: Box<dyn CollectorTap>) -> SessionBuilder {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Spawn the collector thread and start the session.
+    pub fn start(self) -> Session {
+        Session::build(self.config, self.telemetry, self.flight, self.tap)
     }
 }
 
@@ -252,10 +331,20 @@ impl InstanceHandle {
     #[inline]
     pub fn record(&mut self, kind: AccessKind, target: Target, len: u32) {
         if self.inner.closed.load(Ordering::Relaxed) {
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            let prev = self.inner.dropped.fetch_add(1, Ordering::Relaxed);
             // Cold path: the registry lookup is fine here, and publishing
             // immediately means drop pressure is visible while it happens.
             self.inner.telemetry.counter("collector.dropped").inc();
+            if prev == 0 {
+                // First post-shutdown drop on this session: the drop counter
+                // just moved, which is an incident trigger. Later drops ride
+                // the same incident — the counter shows the volume.
+                self.inner.flight.incident(
+                    TraceContext::new(self.inner.session_id, 0),
+                    None,
+                    IncidentTrigger::DropSpike { dropped: 1 },
+                );
+            }
             return;
         }
         let event = AccessEvent {
@@ -300,7 +389,7 @@ impl InstanceHandle {
             // that streaming backpressure reacts to.
             let depth = self.sender.len() as u64;
             self.inner.queue_depth.set(depth);
-            self.inner.queue_peak.set_max(depth);
+            self.inner.queue_hwm.set_max(depth);
         }
     }
 

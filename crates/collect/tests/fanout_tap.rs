@@ -7,7 +7,7 @@ use dsspy_collect::{
     CaptureRecorder, CollectorStats, CollectorTap, Session, SessionConfig, TapFanout,
 };
 use dsspy_events::{AccessEvent, AccessKind, AllocationSite, DsKind, InstanceId, Target};
-use dsspy_telemetry::Telemetry;
+use dsspy_telemetry::{Telemetry, TraceContext};
 
 fn site(line: u32) -> AllocationSite {
     AllocationSite::new("FanoutIt", "live", line)
@@ -77,13 +77,19 @@ struct Bomb {
 }
 
 impl CollectorTap for Bomb {
-    fn on_batch(&mut self, _id: InstanceId, _events: &[AccessEvent], _depth: usize) {
+    fn on_batch(
+        &mut self,
+        _ctx: TraceContext,
+        _id: InstanceId,
+        _events: &[AccessEvent],
+        _depth: usize,
+    ) {
         self.seen += 1;
         if self.seen == self.panic_on {
             panic!("bomb");
         }
     }
-    fn on_stop(&mut self, _stats: &CollectorStats, _nanos: u64) {}
+    fn on_stop(&mut self, _ctx: TraceContext, _stats: &CollectorStats, _nanos: u64) {}
 }
 
 #[test]

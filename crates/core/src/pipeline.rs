@@ -12,7 +12,7 @@ use std::time::Instant;
 use dsspy_collect::{Capture, Session, SessionConfig};
 use dsspy_events::RuntimeProfile;
 use dsspy_patterns::{analyze, regularity, MinerConfig, RegularityConfig};
-use dsspy_telemetry::{overhead::signals, OverheadReport, Telemetry};
+use dsspy_telemetry::{overhead::signals, FlightRecorder, OverheadReport, Telemetry};
 use dsspy_usecases::{advisories, classify, AdvisoryConfig, Thresholds};
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +123,30 @@ impl Dsspy {
     /// overhead accounting.
     pub fn profile_with(&self, program: impl FnOnce(&Session), telemetry: &Telemetry) -> Report {
         let session = Session::with_telemetry(self.session, telemetry.clone());
+        program(&session);
+        let capture = session.finish();
+        self.analyze_capture_with(&capture, telemetry)
+    }
+
+    /// [`Dsspy::profile_with`] under *full* observation: telemetry plus a
+    /// [`FlightRecorder`] threaded into the session's collector, so every
+    /// batch receipt, drop and queue-pressure crossing of the run lands in
+    /// the recorder's causal ring (and auto-dumps on incident when the
+    /// recorder was configured with a dump path). The flight recorder is a
+    /// cheap cloneable handle; keep one and read
+    /// [`FlightRecorder::dump`](dsspy_telemetry::FlightRecorder::dump)
+    /// after this returns.
+    pub fn profile_observed(
+        &self,
+        program: impl FnOnce(&Session),
+        telemetry: &Telemetry,
+        flight: &FlightRecorder,
+    ) -> Report {
+        let session = Session::builder()
+            .config(self.session)
+            .telemetry(telemetry.clone())
+            .flight(flight.clone())
+            .start();
         program(&session);
         let capture = session.finish();
         self.analyze_capture_with(&capture, telemetry)
@@ -307,6 +331,37 @@ mod tests {
             .collect();
         assert_eq!(iq.len(), 1);
         assert_eq!(iq[0].instance.site.method, "list_as_queue");
+    }
+
+    #[test]
+    fn profile_observed_records_a_clean_flight_chain() {
+        use dsspy_telemetry::{FlightConfig, FlightEventKind};
+        let telemetry = Telemetry::enabled();
+        let flight =
+            dsspy_telemetry::FlightRecorder::with_telemetry(FlightConfig::default(), &telemetry);
+        let report = Dsspy::new().profile_observed(
+            |session| {
+                let mut list = SpyVec::register(session, site!("observed"));
+                for i in 0..300 {
+                    list.add(i);
+                }
+            },
+            &telemetry,
+            &flight,
+        );
+        assert_eq!(report.instance_count(), 1);
+        let dump = flight.dump();
+        assert!(dump.incidents.is_empty(), "{:?}", dump.incidents);
+        let sessions = dump.sessions();
+        assert_eq!(sessions.len(), 1, "{sessions:?}");
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FlightEventKind::BatchReceived { .. })));
+        assert!(matches!(
+            dump.events.last().map(|e| &e.kind),
+            Some(FlightEventKind::SessionStop { .. })
+        ));
     }
 
     #[test]

@@ -44,7 +44,9 @@ use dsspy_collect::{Capture, CollectorStats, CollectorTap, Registry, Session};
 use dsspy_core::{AnalysisTimings, Dsspy, InstanceReport, Report};
 use dsspy_events::{AccessEvent, InstanceId, InstanceInfo, Origin};
 use dsspy_patterns::IncrementalAnalyzer;
-use dsspy_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use dsspy_telemetry::{
+    Counter, FlightEventKind, FlightRecorder, Gauge, Histogram, Telemetry, TraceContext,
+};
 use dsspy_usecases::{classify, AdvisoryFold};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -204,6 +206,12 @@ struct Shared {
     dsspy: Dsspy,
     config: StreamConfig,
     telemetry: Telemetry,
+    /// Flight recorder snapshot publications are recorded into (disabled
+    /// unless attached via [`StreamingAnalyzer::with_flight`]).
+    flight: FlightRecorder,
+    /// The causal coordinates of the most recently folded batch — the
+    /// context a snapshot publication is attributed to.
+    last_ctx: TraceContext,
     ins: Instruments,
     /// Session mode: the live session's registry, for instance metadata.
     registry: Option<Arc<Registry>>,
@@ -232,6 +240,8 @@ impl Shared {
             dsspy,
             config,
             telemetry,
+            flight: FlightRecorder::disabled(),
+            last_ctx: TraceContext::default(),
             ins,
             registry: None,
             local: Vec::new(),
@@ -249,8 +259,15 @@ impl Shared {
         }
     }
 
-    fn fold_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+    fn fold_batch(
+        &mut self,
+        ctx: TraceContext,
+        id: InstanceId,
+        events: &[AccessEvent],
+        queue_depth: usize,
+    ) {
         let started = self.telemetry.now_nanos();
+        self.last_ctx = ctx;
         let state = match self.states.entry(id) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -300,7 +317,8 @@ impl Shared {
         }
     }
 
-    fn finish(&mut self, stats: &CollectorStats, session_nanos: u64) {
+    fn finish(&mut self, ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
+        self.last_ctx = ctx;
         self.final_stats = Some(*stats);
         self.session_nanos = session_nanos;
         self.publish_snapshot();
@@ -316,6 +334,15 @@ impl Shared {
         self.ins
             .snapshot_nanos
             .record(self.telemetry.now_nanos().saturating_sub(started));
+        if self.flight.is_enabled() {
+            self.flight.record_for(
+                self.last_ctx,
+                Some("analyzer"),
+                FlightEventKind::SnapshotPublished {
+                    snapshot: self.snapshots,
+                },
+            );
+        }
     }
 
     /// Classify everything folded so far, mirroring
@@ -393,12 +420,18 @@ struct StreamTap {
 }
 
 impl CollectorTap for StreamTap {
-    fn on_batch(&mut self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
-        self.shared.lock().fold_batch(id, events, queue_depth);
+    fn on_batch(
+        &mut self,
+        ctx: TraceContext,
+        id: InstanceId,
+        events: &[AccessEvent],
+        queue_depth: usize,
+    ) {
+        self.shared.lock().fold_batch(ctx, id, events, queue_depth);
     }
 
-    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
-        self.shared.lock().finish(stats, session_nanos);
+    fn on_stop(&mut self, ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
+        self.shared.lock().finish(ctx, stats, session_nanos);
     }
 }
 
@@ -458,14 +491,30 @@ impl StreamingAnalyzer {
         self.shared.lock().registry = Some(registry);
     }
 
+    /// Record snapshot publications into `flight`, chaining.
+    /// [`StreamingAnalyzer::attach`] also threads the recorder into the
+    /// session it starts, so collector-side events (batch receipts, drops,
+    /// watermark breaches) land in the same causal timeline.
+    pub fn with_flight(self, flight: FlightRecorder) -> StreamingAnalyzer {
+        self.shared.lock().flight = flight;
+        self
+    }
+
     /// Start a session wired to this analyzer: the collector feeds the tap,
     /// and the session's registry backs snapshot metadata. The session's
     /// collector reports into the same `telemetry` handle the analyzer was
     /// built with.
     pub fn attach(&self) -> Session {
-        let telemetry = self.shared.lock().telemetry.clone();
-        let session_config = self.shared.lock().dsspy.session;
-        let session = Session::with_tap(session_config, telemetry, self.tap());
+        let (telemetry, session_config, flight) = {
+            let s = self.shared.lock();
+            (s.telemetry.clone(), s.dsspy.session, s.flight.clone())
+        };
+        let session = Session::builder()
+            .config(session_config)
+            .telemetry(telemetry)
+            .flight(flight)
+            .tap(self.tap())
+            .start();
         self.bind_registry(session.registry_handle());
         session
     }
@@ -480,7 +529,12 @@ impl StreamingAnalyzer {
     /// would on the collector thread. `queue_depth` feeds the snapshot
     /// backpressure policy (use `0` when replaying from disk).
     pub fn fold_batch(&self, id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
-        self.shared.lock().fold_batch(id, events, queue_depth);
+        let mut shared = self.shared.lock();
+        // Replayed streams have no live session behind them: synthesize a
+        // session-0 context carrying the fold ordinal, so flight events from
+        // a replay are still ordered and distinguishable.
+        let ctx = TraceContext::replay(shared.batches + 1);
+        shared.fold_batch(ctx, id, events, queue_depth);
     }
 
     /// Stream a whole capture through the fold path in `batch_size`-event
@@ -505,7 +559,9 @@ impl StreamingAnalyzer {
     /// `on_stop` does in session mode. Call after the last
     /// [`StreamingAnalyzer::fold_batch`].
     pub fn finish_replay(&self, stats: &CollectorStats, session_nanos: u64) {
-        self.shared.lock().finish(stats, session_nanos);
+        let mut shared = self.shared.lock();
+        let ctx = TraceContext::replay(shared.batches);
+        shared.finish(ctx, stats, session_nanos);
     }
 
     /// The most recently published snapshot, if any batch interval or the
@@ -630,7 +686,13 @@ struct SamplerTap {
 }
 
 impl CollectorTap for SamplerTap {
-    fn on_batch(&mut self, _id: InstanceId, events: &[AccessEvent], queue_depth: usize) {
+    fn on_batch(
+        &mut self,
+        _ctx: TraceContext,
+        _id: InstanceId,
+        events: &[AccessEvent],
+        queue_depth: usize,
+    ) {
         let mut s = self.shared.lock();
         s.events += events.len() as u64;
         s.batches += 1;
@@ -641,7 +703,7 @@ impl CollectorTap for SamplerTap {
         self.ins.last_batch_events.set(events.len() as u64);
     }
 
-    fn on_stop(&mut self, stats: &CollectorStats, session_nanos: u64) {
+    fn on_stop(&mut self, _ctx: TraceContext, stats: &CollectorStats, session_nanos: u64) {
         self.shared.lock().finished = Some((*stats, session_nanos));
         self.ins.queue_depth.set(0);
         self.ins.stopped.set(1);
@@ -897,6 +959,43 @@ mod tests {
                 .any(|h| h.name == "stream.fold_nanos" && h.count > 0),
             "{snap:?}"
         );
+    }
+
+    #[test]
+    fn live_session_records_a_causal_flight_chain() {
+        use dsspy_telemetry::{FlightConfig, FlightRecorder};
+
+        let flight = FlightRecorder::new(FlightConfig::default());
+        let dsspy = Dsspy::new().with_threads(1);
+        let streaming =
+            StreamingAnalyzer::new(dsspy, StreamConfig::default()).with_flight(flight.clone());
+        let session = streaming.attach();
+        let sid = session.session_id();
+        assert_ne!(sid, 0);
+        run_workload(&session);
+        let capture = session.finish();
+
+        let dump = flight.dump();
+        assert_eq!(dump.sessions(), vec![sid], "one live session observed");
+        let batches: Vec<_> = dump
+            .events
+            .iter()
+            .filter(|e| e.kind.tag() == "batch")
+            .collect();
+        assert_eq!(batches.len() as u64, capture.stats.batches);
+        // Batch seqs are 1..=N in order.
+        assert!(batches
+            .iter()
+            .enumerate()
+            .all(|(i, e)| e.ctx.batch_seq == i as u64 + 1));
+        // The analyzer's snapshot publications are attributed to batches of
+        // this session, and the session stop closes the timeline.
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.kind.tag() == "snapshot" && e.subscriber.as_deref() == Some("analyzer")));
+        assert_eq!(dump.events.last().unwrap().kind.tag(), "session-stop");
+        assert!(dump.incidents.is_empty(), "healthy session, no incidents");
     }
 
     #[test]

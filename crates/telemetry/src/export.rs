@@ -93,6 +93,71 @@ pub fn chrome_trace(snapshot: &TelemetrySnapshot) -> String {
     serde_json::to_string(&doc).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
+/// Export a flight-recorder dump as Chrome `trace_event` JSON: dispatch and
+/// stop deliveries become complete (`"ph": "X"`) events on one track per
+/// subscriber, everything else becomes a thread-scoped instant (`"ph": "i"`)
+/// event on the collector track (tid 0). Timestamps are microseconds, as
+/// the format requires; incident-backed events carry `"incident": 1` in
+/// their args so Perfetto queries can isolate them.
+pub fn flight_chrome_trace(dump: &crate::flight::FlightDump) -> String {
+    use crate::flight::FlightEventKind;
+
+    let tracks: Vec<&str> = dump.subscribers();
+    let tid_of = |subscriber: Option<&str>| -> u64 {
+        subscriber
+            .and_then(|label| tracks.iter().position(|t| *t == label))
+            .map_or(0, |i| i as u64 + 1)
+    };
+    let incident_seqs: Vec<u64> = dump.incidents.iter().map(|i| i.seq).collect();
+    let events: Vec<Value> = dump
+        .events
+        .iter()
+        .map(|e| {
+            let mut args = vec![
+                ("session".to_string(), Value::U64(e.ctx.session)),
+                ("batch_seq".to_string(), Value::U64(e.ctx.batch_seq)),
+                ("seq".to_string(), Value::U64(e.seq)),
+            ];
+            if incident_seqs.contains(&e.seq) {
+                args.push(("incident".to_string(), Value::U64(1)));
+            }
+            let mut fields = vec![
+                (
+                    "name".to_string(),
+                    Value::Str(format!("{} {}", e.kind.tag(), e.ctx)),
+                ),
+                ("cat".to_string(), Value::Str("flight".to_string())),
+                ("pid".to_string(), Value::U64(1)),
+                (
+                    "tid".to_string(),
+                    Value::U64(tid_of(e.subscriber.as_deref())),
+                ),
+            ];
+            match &e.kind {
+                FlightEventKind::TapDispatch { dur_nanos, .. }
+                | FlightEventKind::StopDelivered { dur_nanos } => {
+                    let start = e.nanos.saturating_sub(*dur_nanos);
+                    fields.push(("ph".to_string(), Value::Str("X".to_string())));
+                    fields.push(("ts".to_string(), Value::F64(start as f64 / 1e3)));
+                    fields.push(("dur".to_string(), Value::F64(*dur_nanos as f64 / 1e3)));
+                }
+                _ => {
+                    fields.push(("ph".to_string(), Value::Str("i".to_string())));
+                    fields.push(("s".to_string(), Value::Str("t".to_string())));
+                    fields.push(("ts".to_string(), Value::F64(e.nanos as f64 / 1e3)));
+                }
+            }
+            fields.push(("args".to_string(), Value::Map(args)));
+            Value::Map(fields)
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
 fn fmt_nanos(nanos: u64) -> String {
     if nanos >= 1_000_000_000 {
         format!("{:.2}s", nanos as f64 / 1e9)
@@ -229,6 +294,51 @@ mod tests {
         assert_eq!(events[0]["ph"].as_str(), Some("X"));
         assert_eq!(events[0]["dur"].as_f64(), Some(1.0)); // 1000ns = 1µs
         assert_eq!(events[0]["name"].as_str(), Some("analyze_capture"));
+    }
+
+    #[test]
+    fn flight_chrome_trace_tracks_subscribers_and_marks_incidents() {
+        use crate::flight::{FlightConfig, FlightEventKind, FlightRecorder, IncidentTrigger};
+        use crate::trace::TraceContext;
+
+        let f = FlightRecorder::new(FlightConfig::default());
+        let ctx = TraceContext::new(1, 1);
+        f.record(
+            ctx,
+            FlightEventKind::BatchReceived {
+                instance: 0,
+                events: 8,
+                queue_depth: 0,
+            },
+        );
+        f.record_for(
+            ctx,
+            Some("analyzer"),
+            FlightEventKind::TapDispatch {
+                events: 8,
+                dur_nanos: 2_000,
+            },
+        );
+        f.incident(
+            ctx,
+            Some("bomb"),
+            IncidentTrigger::SubscriberPanic {
+                payload: "boom".into(),
+            },
+        );
+        let trace = flight_chrome_trace(&f.dump());
+        let value: Value = serde_json::from_str(&trace).unwrap();
+        let events = value["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        // The batch receipt is an instant on the collector track.
+        assert_eq!(events[0]["ph"].as_str(), Some("i"));
+        assert_eq!(events[0]["tid"].as_u64(), Some(0));
+        // The dispatch is a complete event on the analyzer's own track.
+        assert_eq!(events[1]["ph"].as_str(), Some("X"));
+        assert_eq!(events[1]["dur"].as_f64(), Some(2.0));
+        assert_eq!(events[1]["tid"].as_u64(), Some(1));
+        // The panic is incident-flagged.
+        assert_eq!(events[2]["args"]["incident"].as_u64(), Some(1));
     }
 
     #[test]

@@ -27,16 +27,22 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod overhead;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 pub use clock::{ClockSource, ManualClock};
+pub use flight::{
+    FlightConfig, FlightDump, FlightEvent, FlightEventKind, FlightRecorder, Incident,
+    IncidentTrigger, FLIGHT_SCHEMA,
+};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, HISTOGRAM_BUCKETS,
@@ -44,6 +50,7 @@ pub use metrics::{
 pub use overhead::OverheadReport;
 pub use snapshot::TelemetrySnapshot;
 pub use span::{SpanGuard, SpanRecord};
+pub use trace::{next_session_id, TraceContext};
 
 use metrics::MetricRegistry;
 

@@ -1,0 +1,412 @@
+//! Rendering flight-recorder dumps: the causal timeline, the per-subscriber
+//! lag table and the incident report behind `dsspy doctor`.
+//!
+//! A [`FlightDump`] is already causally structured — every event carries the
+//! [`TraceContext`](dsspy_telemetry::TraceContext) of the batch it belongs
+//! to — so rendering is a matter of making the chains legible: one line per
+//! event with its `s<session>#b<batch>` anchor, incident-anchored events
+//! marked, and the fan-out edges (`dispatch`) aggregated into a lag table
+//! that shows where delivery time actually went.
+
+use dsspy_telemetry::{FlightDump, FlightEvent, FlightEventKind, Incident, IncidentTrigger};
+
+/// Format nanoseconds as a compact human duration.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// One timeline line for an event (no trailing newline).
+fn event_line(e: &FlightEvent, incident_seqs: &[u64]) -> String {
+    let mark = if incident_seqs.contains(&e.seq) {
+        "!"
+    } else {
+        " "
+    };
+    let sub = e.subscriber.as_deref().unwrap_or("collector");
+    let detail = match &e.kind {
+        FlightEventKind::SessionStart => String::new(),
+        FlightEventKind::BatchReceived {
+            instance,
+            events,
+            queue_depth,
+        } => format!("instance {instance}, {events} events, queue {queue_depth}"),
+        FlightEventKind::TapDispatch { events, dur_nanos } => {
+            format!("{events} events in {}", fmt_nanos(*dur_nanos))
+        }
+        FlightEventKind::StopDelivered { dur_nanos } => fmt_nanos(*dur_nanos),
+        FlightEventKind::SnapshotPublished { snapshot } => format!("snapshot #{snapshot}"),
+        FlightEventKind::Dropped { events } => format!("{events} events"),
+        FlightEventKind::SubscriberPanic { payload } => format!("{payload:?}"),
+        FlightEventKind::WatermarkBreach {
+            queue_depth,
+            watermark,
+        } => format!("queue {queue_depth} > watermark {watermark}"),
+        FlightEventKind::SessionStop {
+            events,
+            batches,
+            dropped,
+        } => format!("{events} events, {batches} batches, {dropped} dropped"),
+    };
+    let mut line = format!(
+        "{mark}{:>6}  {:>10}  {:>8}  {:<12} {:<9}",
+        e.seq,
+        fmt_nanos(e.nanos),
+        e.ctx.to_string(),
+        sub,
+        e.kind.tag(),
+    );
+    if !detail.is_empty() {
+        line.push_str("  ");
+        line.push_str(&detail);
+    }
+    line
+}
+
+/// The chronological event timeline, tail-limited to `max_events` lines
+/// (the *newest* events are the ones a post-incident reader needs; elision
+/// is stated, never silent).
+pub fn flight_timeline_text(dump: &FlightDump, max_events: usize) -> String {
+    let incident_seqs: Vec<u64> = dump.incidents.iter().map(|i| i.seq).collect();
+    let mut out = String::from("   seq       nanos       ctx  subscriber   event\n");
+    let skip = dump.events.len().saturating_sub(max_events);
+    if dump.overwritten > 0 || skip > 0 {
+        out.push_str(&format!(
+            "  ... {} overwritten in the ring, {} elided here ...\n",
+            dump.overwritten, skip
+        ));
+    }
+    for e in dump.events.iter().skip(skip) {
+        out.push_str(&event_line(e, &incident_seqs));
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-subscriber lag accumulated over a dump's fan-out edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubscriberLag {
+    /// `on_batch` deliveries observed.
+    pub dispatches: u64,
+    /// Events delivered across them.
+    pub events: u64,
+    /// Total nanoseconds spent in `on_batch`.
+    pub total_nanos: u64,
+    /// Slowest single `on_batch` delivery.
+    pub max_nanos: u64,
+    /// Nanoseconds spent in `on_stop`, if it was delivered.
+    pub stop_nanos: Option<u64>,
+    /// Panics attributed to this subscriber.
+    pub panics: u64,
+}
+
+/// Aggregate the dispatch/stop/panic edges per subscriber, in the dump's
+/// first-seen order.
+pub fn subscriber_lags(dump: &FlightDump) -> Vec<(String, SubscriberLag)> {
+    let mut out: Vec<(String, SubscriberLag)> = dump
+        .subscribers()
+        .into_iter()
+        .map(|s| (s.to_string(), SubscriberLag::default()))
+        .collect();
+    for e in &dump.events {
+        let Some(label) = e.subscriber.as_deref() else {
+            continue;
+        };
+        let Some((_, lag)) = out.iter_mut().find(|(l, _)| l == label) else {
+            continue;
+        };
+        match &e.kind {
+            FlightEventKind::TapDispatch { events, dur_nanos } => {
+                lag.dispatches += 1;
+                lag.events += events;
+                lag.total_nanos += dur_nanos;
+                lag.max_nanos = lag.max_nanos.max(*dur_nanos);
+            }
+            FlightEventKind::StopDelivered { dur_nanos } => lag.stop_nanos = Some(*dur_nanos),
+            FlightEventKind::SubscriberPanic { .. } => lag.panics += 1,
+            _ => {}
+        }
+    }
+    // Panic incidents survive ring overwrites; count them even when the
+    // panic event itself was evicted (or the subscriber never completed a
+    // delivery and so never appeared in the event stream).
+    for i in &dump.incidents {
+        if let (Some(label), IncidentTrigger::SubscriberPanic { .. }) =
+            (i.subscriber.as_deref(), &i.trigger)
+        {
+            match out.iter_mut().find(|(l, _)| l == label) {
+                Some((_, lag)) => {
+                    if lag.panics == 0 {
+                        lag.panics = 1;
+                    }
+                }
+                None => out.push((
+                    label.to_string(),
+                    SubscriberLag {
+                        panics: 1,
+                        ..SubscriberLag::default()
+                    },
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// The per-subscriber lag table: deliveries, mean/max `on_batch` time,
+/// `on_stop` time and panics.
+pub fn flight_lag_text(dump: &FlightDump) -> String {
+    let lags = subscriber_lags(dump);
+    if lags.is_empty() {
+        return "no fan-out deliveries recorded\n".to_string();
+    }
+    let mut out = String::from(
+        "subscriber    dispatches      events    mean        max       on_stop   panics\n",
+    );
+    for (label, lag) in &lags {
+        let mean = match lag.total_nanos.checked_div(lag.dispatches) {
+            Some(mean) => fmt_nanos(mean),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<12} {:>11} {:>11} {:>9} {:>10} {:>13} {:>8}\n",
+            label,
+            lag.dispatches,
+            lag.events,
+            mean,
+            if lag.dispatches > 0 {
+                fmt_nanos(lag.max_nanos)
+            } else {
+                "-".to_string()
+            },
+            lag.stop_nanos.map_or("-".to_string(), fmt_nanos),
+            lag.panics,
+        ));
+    }
+    out
+}
+
+/// One incident with its retained causal chain.
+fn incident_text(dump: &FlightDump, ordinal: usize, incident: &Incident) -> String {
+    let detail = match &incident.trigger {
+        IncidentTrigger::SubscriberPanic { payload } => format!("payload {payload:?}"),
+        IncidentTrigger::DropSpike { dropped } => format!("{dropped} events dropped"),
+        IncidentTrigger::QueueWatermark {
+            queue_depth,
+            watermark,
+        } => format!("queue {queue_depth} > watermark {watermark}"),
+    };
+    let mut out = format!(
+        "incident {ordinal}: {} at {} ({}){} — {detail}\n",
+        incident.trigger.tag(),
+        incident.ctx,
+        fmt_nanos(incident.nanos),
+        incident
+            .subscriber
+            .as_deref()
+            .map(|s| format!(", subscriber {s}"))
+            .unwrap_or_default(),
+    );
+    let chain = dump.chain(incident.ctx);
+    if chain.is_empty() {
+        out.push_str("  causal chain: evicted from the ring\n");
+    } else {
+        out.push_str(&format!("  causal chain for {}:\n", incident.ctx));
+        let incident_seqs: Vec<u64> = dump.incidents.iter().map(|i| i.seq).collect();
+        for e in chain {
+            out.push_str("  ");
+            out.push_str(&event_line(e, &incident_seqs));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The incident report: every triggered incident with its causal chain, or
+/// a clean bill of health.
+pub fn flight_incidents_text(dump: &FlightDump) -> String {
+    if dump.incidents.is_empty() {
+        return "no incidents\n".to_string();
+    }
+    let mut out = format!("{} incident(s):\n", dump.incidents.len());
+    for (n, incident) in dump.incidents.iter().enumerate() {
+        out.push_str(&incident_text(dump, n + 1, incident));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsspy_telemetry::{FlightEvent, TraceContext};
+
+    fn dump_with(events: Vec<FlightEvent>, incidents: Vec<Incident>) -> FlightDump {
+        FlightDump {
+            schema: dsspy_telemetry::FLIGHT_SCHEMA.to_string(),
+            capacity: 16,
+            overwritten: 0,
+            events,
+            incidents,
+        }
+    }
+
+    fn ev(
+        seq: u64,
+        ctx: TraceContext,
+        subscriber: Option<&str>,
+        kind: FlightEventKind,
+    ) -> FlightEvent {
+        FlightEvent {
+            seq,
+            nanos: seq * 1000,
+            ctx,
+            subscriber: subscriber.map(|s| s.to_string()),
+            kind,
+        }
+    }
+
+    #[test]
+    fn timeline_marks_incidents_and_states_elision() {
+        let ctx = TraceContext::new(3, 1);
+        let dump = dump_with(
+            vec![
+                ev(
+                    1,
+                    TraceContext::new(3, 0),
+                    None,
+                    FlightEventKind::SessionStart,
+                ),
+                ev(
+                    2,
+                    ctx,
+                    None,
+                    FlightEventKind::BatchReceived {
+                        instance: 0,
+                        events: 8,
+                        queue_depth: 1,
+                    },
+                ),
+                ev(
+                    3,
+                    ctx,
+                    Some("analyzer"),
+                    FlightEventKind::SubscriberPanic {
+                        payload: "boom".into(),
+                    },
+                ),
+            ],
+            vec![Incident {
+                seq: 3,
+                nanos: 3000,
+                ctx,
+                subscriber: Some("analyzer".into()),
+                trigger: IncidentTrigger::SubscriberPanic {
+                    payload: "boom".into(),
+                },
+            }],
+        );
+        let full = flight_timeline_text(&dump, 16);
+        assert!(full.contains("s3#b1"), "{full}");
+        assert!(full.contains("!     3"), "{full}");
+        assert!(full.contains("analyzer"), "{full}");
+        let tail = flight_timeline_text(&dump, 1);
+        assert!(tail.contains("2 elided here"), "{tail}");
+        assert!(!tail.contains("start"), "{tail}");
+    }
+
+    #[test]
+    fn lag_table_aggregates_per_subscriber() {
+        let ctx = TraceContext::new(1, 1);
+        let dump = dump_with(
+            vec![
+                ev(
+                    1,
+                    ctx,
+                    Some("analyzer"),
+                    FlightEventKind::TapDispatch {
+                        events: 10,
+                        dur_nanos: 2_000,
+                    },
+                ),
+                ev(
+                    2,
+                    ctx,
+                    Some("analyzer"),
+                    FlightEventKind::TapDispatch {
+                        events: 6,
+                        dur_nanos: 4_000,
+                    },
+                ),
+                ev(
+                    3,
+                    ctx,
+                    Some("sampler"),
+                    FlightEventKind::StopDelivered { dur_nanos: 500 },
+                ),
+            ],
+            vec![],
+        );
+        let lags = subscriber_lags(&dump);
+        assert_eq!(lags.len(), 2);
+        let analyzer = &lags.iter().find(|(l, _)| l == "analyzer").unwrap().1;
+        assert_eq!(analyzer.dispatches, 2);
+        assert_eq!(analyzer.events, 16);
+        assert_eq!(analyzer.total_nanos, 6_000);
+        assert_eq!(analyzer.max_nanos, 4_000);
+        let sampler = &lags.iter().find(|(l, _)| l == "sampler").unwrap().1;
+        assert_eq!(sampler.stop_nanos, Some(500));
+        let table = flight_lag_text(&dump);
+        assert!(table.contains("analyzer"), "{table}");
+        assert!(table.contains("3.0us"), "{table}"); // mean of 2us and 4us
+    }
+
+    #[test]
+    fn incident_report_renders_chain_and_clean_bill() {
+        let ctx = TraceContext::new(2, 5);
+        let dump = dump_with(
+            vec![
+                ev(
+                    7,
+                    ctx,
+                    None,
+                    FlightEventKind::BatchReceived {
+                        instance: 1,
+                        events: 64,
+                        queue_depth: 9,
+                    },
+                ),
+                ev(
+                    8,
+                    ctx,
+                    Some("recorder"),
+                    FlightEventKind::SubscriberPanic {
+                        payload: "disk full".into(),
+                    },
+                ),
+            ],
+            vec![Incident {
+                seq: 8,
+                nanos: 8000,
+                ctx,
+                subscriber: Some("recorder".into()),
+                trigger: IncidentTrigger::SubscriberPanic {
+                    payload: "disk full".into(),
+                },
+            }],
+        );
+        let report = flight_incidents_text(&dump);
+        assert!(report.contains("subscriber-panic at s2#b5"), "{report}");
+        assert!(report.contains("subscriber recorder"), "{report}");
+        assert!(report.contains("causal chain for s2#b5"), "{report}");
+        assert!(report.contains("disk full"), "{report}");
+        let clean = flight_incidents_text(&dump_with(vec![], vec![]));
+        assert_eq!(clean, "no incidents\n");
+    }
+}

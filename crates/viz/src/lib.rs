@@ -10,6 +10,9 @@
 //!   and as standalone SVG for reports.
 //! * **Occurrence charts** (Fig. 1): stacked per-program bars of data
 //!   structure counts by kind.
+//! * **Flight timelines** ([`flight`]): the causal event timeline, the
+//!   per-subscriber lag table and the incident report `dsspy doctor`
+//!   renders from a [`dsspy_telemetry::FlightDump`].
 //!
 //! Design notes: identity is never color-alone — the terminal chart encodes
 //! the access class with letters (`R`/`W`/`I`/`D`), the SVG charts always
@@ -20,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hotspots;
 pub mod html;
 pub mod occurrence;
@@ -28,6 +32,9 @@ pub mod profile_chart;
 pub mod svg;
 pub mod timeline;
 
+pub use flight::{
+    flight_incidents_text, flight_lag_text, flight_timeline_text, subscriber_lags, SubscriberLag,
+};
 pub use hotspots::{index_histogram, IndexHistogram};
 pub use html::html_report;
 pub use occurrence::{occurrence_svg, occurrence_table, OccurrenceRow};

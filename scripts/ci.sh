@@ -118,6 +118,30 @@ if [[ "$MODE" == "full" ]]; then
     # Follow a live workload session through the same fan-out.
     run_cell watch-follow-smoke '"kind":"smoke",' \
         ./target/release/dsspy watch --follow --frames 3
+    # Flight-recorder + doctor smoke: a clean live demo with the recorder
+    # armed must produce a dump `doctor` reads back with zero incidents
+    # (exit 0) ...
+    FLIGHT="$LOG_DIR/ci-flight.json"
+    run_cell demo-flight-recorder '"kind":"smoke",' \
+        ./target/release/dsspy demo "$SMOKE" --live --flight-recorder "$FLIGHT"
+    run_cell doctor-clean '"kind":"smoke",' \
+        ./target/release/dsspy doctor "$FLIGHT"
+    # ... and the forced-incident run (--inject-panic poisons one fan-out
+    # subscriber) must make doctor exit exactly 1 with an UNHEALTHY verdict
+    # that names the panicking subscriber.
+    run_cell doctor-incident '"kind":"smoke",' \
+        bash -c '
+            set -uo pipefail
+            smoke="$1" flight="$2"
+            ./target/release/dsspy demo "$smoke" --live \
+                --flight-recorder "$flight" --inject-panic >/dev/null || exit 1
+            out="$(./target/release/dsspy doctor "$flight")"
+            code=$?
+            [[ "$code" -eq 1 ]] || { echo "doctor exit $code, want 1"; exit 1; }
+            grep -q "UNHEALTHY" <<<"$out" || { echo "no UNHEALTHY verdict"; exit 1; }
+            grep -q "subscriber bomb" <<<"$out" || { echo "panicking subscriber not named"; exit 1; }
+            echo "doctor reconstructed the injected incident (exit 1 as required)"
+        ' doctor-incident "$SMOKE" "$FLIGHT"
 fi
 
 if [[ "$MODE" == "full" || "$MODE" == "bench-smoke" ]]; then
